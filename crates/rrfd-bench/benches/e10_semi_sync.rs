@@ -1,0 +1,48 @@
+//! E10 — §5: Gafni's 2-step consensus vs the 2n-step DDS-style baseline.
+//! The measured series makes the paper's open-problem resolution visible:
+//! the 2-step line is flat in `n` per process (total work O(n) deliveries),
+//! the baseline grows with the extra factor `n` of rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{agreement_inputs, quick_criterion, SEED, SYSTEM_SIZES};
+use rrfd_core::SystemSize;
+use rrfd_protocols::semi_sync_consensus::{RepeatedRounds, TwoStepConsensus};
+use rrfd_sims::semi_sync::{RandomSemiSync, SemiSyncSim};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_semi_sync");
+    for &nv in SYSTEM_SIZES {
+        let n = SystemSize::new(nv).unwrap();
+        let inputs = agreement_inputs(nv);
+
+        group.bench_with_input(BenchmarkId::new("two_step", nv), &n, |b, &n| {
+            b.iter(|| {
+                let procs: Vec<_> = n
+                    .processes()
+                    .map(|p| TwoStepConsensus::new(n, p, inputs[p.index()]))
+                    .collect();
+                let mut sched = RandomSemiSync::new(SEED, 0);
+                SemiSyncSim::new(n).run(procs, &mut sched).unwrap()
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("dds_2n_step", nv), &n, |b, &n| {
+            b.iter(|| {
+                let procs: Vec<_> = n
+                    .processes()
+                    .map(|p| RepeatedRounds::new(n, p, inputs[p.index()], nv as u32))
+                    .collect();
+                let mut sched = RandomSemiSync::new(SEED, 0);
+                SemiSyncSim::new(n).run(procs, &mut sched).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

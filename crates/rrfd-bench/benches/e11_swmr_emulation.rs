@@ -1,0 +1,49 @@
+//! E11 — §2 item 4: two rounds of the asynchronous predicate (2f < n)
+//! emulating one SWMR round (majority echo), plus the antisymmetric-clause
+//! gossip experiment (rounds until some process is known by all).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{quick_criterion, SEED};
+use rrfd_core::{RrfdPredicate, SystemSize};
+use rrfd_models::adversary::{RandomAdversary, RingMiss};
+use rrfd_models::predicates::{AsyncResilient, Swmr};
+use rrfd_protocols::equivalence::{majority_echo_pattern, rounds_until_known_by_all};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_swmr_emulation");
+    for &(nv, f) in &[(5usize, 2usize), (9, 4), (17, 8), (33, 16)] {
+        let n = SystemSize::new(nv).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("majority_echo", format!("n{nv}_f{f}")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut adv =
+                        RandomAdversary::new(AsyncResilient::new(n, f), SEED);
+                    let sim = majority_echo_pattern(n, f, &mut adv, 4);
+                    assert!(Swmr::new(n, f).admits_pattern(&sim));
+                    sim
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ring_gossip", nv),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut det = RingMiss::new(n);
+                    rounds_until_known_by_all(n, &mut det, 2 * nv as u32)
+                        .expect("bounded by n")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

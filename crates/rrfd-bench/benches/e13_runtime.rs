@@ -1,0 +1,45 @@
+//! E13 — the threaded runtime: Theorem 3.1's one-round k-set agreement on
+//! real OS threads, measured against the in-process engine. The gap is the
+//! cost of thread spawn + channel coordination per round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{agreement_inputs, quick_criterion, SEED};
+use rrfd_core::SystemSize;
+use rrfd_models::adversary::RandomAdversary;
+use rrfd_models::predicates::KUncertainty;
+use rrfd_protocols::kset::{one_round_kset, OneRoundKSet};
+use rrfd_runtime::ThreadedEngine;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_runtime");
+    for &nv in &[2usize, 4, 8, 16] {
+        let n = SystemSize::new(nv).unwrap();
+        let k = (nv / 2).max(1);
+        let inputs = agreement_inputs(nv);
+        let model = KUncertainty::new(n, k);
+
+        group.bench_with_input(BenchmarkId::new("threads", nv), &n, |b, &n| {
+            b.iter(|| {
+                let protos: Vec<_> =
+                    inputs.iter().map(|&v| OneRoundKSet::new(v)).collect();
+                let mut adv = RandomAdversary::new(model, SEED);
+                ThreadedEngine::new(n).run(protos, &mut adv, &model).unwrap()
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("in_process", nv), &n, |b, &n| {
+            b.iter(|| {
+                let mut adv = RandomAdversary::new(model, SEED);
+                one_round_kset(n, k, &inputs, &mut adv).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

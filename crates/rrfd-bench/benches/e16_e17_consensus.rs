@@ -1,0 +1,63 @@
+//! E16/E17 — the consensus extensions: detector-S rotating-coordinator
+//! consensus (n rounds) and early-stopping crash consensus
+//! (min(f′+2, f+1) rounds), as latency series over n and f′.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{agreement_inputs, quick_criterion, SEED};
+use rrfd_core::{Engine, SystemSize};
+use rrfd_models::adversary::{RandomAdversary, StaggeredCrash};
+use rrfd_models::predicates::{Crash, DetectorS};
+use rrfd_protocols::early_stopping::EarlyStoppingConsensus;
+use rrfd_protocols::s_consensus::SRotatingConsensus;
+
+fn bench_s_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_s_consensus");
+    for &nv in &[4usize, 8, 16, 32] {
+        let n = SystemSize::new(nv).unwrap();
+        let inputs = agreement_inputs(nv);
+        group.bench_with_input(BenchmarkId::new("rotating", nv), &n, |b, &n| {
+            b.iter(|| {
+                let protos: Vec<_> = inputs
+                    .iter()
+                    .map(|&v| SRotatingConsensus::new(n, v))
+                    .collect();
+                let model = DetectorS::new(n);
+                let mut adv = RandomAdversary::new(model, SEED);
+                Engine::new(n).run(protos, &mut adv, &model).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_early_stopping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_early_stopping");
+    let f = 5usize;
+    let n = SystemSize::new(12).unwrap();
+    let inputs = agreement_inputs(12);
+    for f_actual in [0usize, 2, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("staggered", format!("fprime{f_actual}")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let protos: Vec<_> = inputs
+                        .iter()
+                        .map(|&v| EarlyStoppingConsensus::new(v, f))
+                        .collect();
+                    let model = Crash::new(n, f);
+                    let mut adv = StaggeredCrash::new(n, f_actual);
+                    Engine::new(n).run(protos, &mut adv, &model).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_s_consensus, bench_early_stopping
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E1/E12 — extraction cost of mapping classical executions onto RRFD
+//! predicates: run each simulator and machine-check the extracted pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{quick_criterion, SEED};
+use rrfd_core::{
+    Control, Delivery, FaultDetector, FaultPattern, IdSet, ProcessId, Round,
+    RoundProtocol, RrfdPredicate, SystemSize,
+};
+use rrfd_models::predicates::{Crash, DetectorS, SendOmission};
+use rrfd_sims::detector_s::SAugmentedSystem;
+use rrfd_sims::sync_net::{RandomCrash, RandomOmission, SyncNetSim};
+
+struct RunFor(u32);
+impl RoundProtocol for RunFor {
+    type Msg = ();
+    type Output = ();
+    fn emit(&mut self, _r: Round) {}
+    fn deliver(&mut self, d: Delivery<'_, ()>) -> Control<()> {
+        if d.round.get() >= self.0 {
+            Control::Decide(())
+        } else {
+            Control::Continue
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_model_maps");
+    for &nv in &[8usize, 16, 32] {
+        let n = SystemSize::new(nv).unwrap();
+        let faulty: IdSet = (0..nv / 4).map(ProcessId::new).collect();
+
+        group.bench_with_input(BenchmarkId::new("omission_extract", nv), &n, |b, &n| {
+            b.iter(|| {
+                let injector = RandomOmission::new(n, faulty, 0.4, SEED);
+                let protos: Vec<_> = (0..nv).map(|_| RunFor(6)).collect();
+                let report = SyncNetSim::new(n).run(protos, injector).unwrap();
+                assert!(SendOmission::new(n, nv / 4).admits_pattern(&report.pattern));
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("crash_extract", nv), &n, |b, &n| {
+            b.iter(|| {
+                let injector = RandomCrash::new(n, faulty, 4, SEED);
+                let protos: Vec<_> = (0..nv).map(|_| RunFor(6)).collect();
+                let report = SyncNetSim::new(n).run(protos, injector).unwrap();
+                assert!(Crash::new(n, nv / 4).admits_pattern(&report.pattern));
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("detector_s_extract", nv), &n, |b, &n| {
+            b.iter(|| {
+                let mut sys = SAugmentedSystem::random(n, 4, SEED);
+                let model = DetectorS::new(n);
+                let mut history = FaultPattern::new(n);
+                for r in 1..=8 {
+                    let round = sys.next_round(Round::new(r), &history);
+                    assert!(model.admits(&history, &round));
+                    history.push(round);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

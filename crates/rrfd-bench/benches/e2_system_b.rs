@@ -1,0 +1,38 @@
+//! E2 — §2 item 3's System B: two rounds of B implement one round of A.
+//! Benchmarks the echo construction's cost and (in the experiments binary)
+//! the observed per-round miss bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{quick_criterion, SEED};
+use rrfd_core::SystemSize;
+use rrfd_models::adversary::RandomAdversary;
+use rrfd_models::predicates::SystemB;
+use rrfd_protocols::equivalence::system_b_echo_pattern;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_system_b");
+    for &(nv, f, t) in &[(7usize, 1usize, 3usize), (11, 2, 5), (21, 3, 10)] {
+        let n = SystemSize::new(nv).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("two_rounds_of_b", format!("n{nv}_f{f}_t{t}")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut adv = RandomAdversary::new(SystemB::new(n, f, t), SEED);
+                    let (pattern, max_miss) =
+                        system_b_echo_pattern(n, f, t, &mut adv, 6);
+                    assert!(max_miss <= t);
+                    pattern
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E3 — Theorem 3.1: one-round k-set agreement throughput, sweeping `n`
+//! and `k`. Regenerates the "solved in one round" claim as a latency
+//! series: cost is one emit/deliver round regardless of `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{agreement_inputs, quick_criterion, KS, SEED, SYSTEM_SIZES};
+use rrfd_core::SystemSize;
+use rrfd_models::adversary::RandomAdversary;
+use rrfd_models::predicates::KUncertainty;
+use rrfd_protocols::kset::one_round_kset;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_one_round_kset");
+    for &nv in SYSTEM_SIZES {
+        for &k in KS {
+            if k >= nv {
+                continue;
+            }
+            let n = SystemSize::new(nv).unwrap();
+            let inputs = agreement_inputs(nv);
+            group.bench_with_input(
+                BenchmarkId::new(format!("n{nv}"), k),
+                &(n, k),
+                |b, &(n, k)| {
+                    b.iter(|| {
+                        let mut adv =
+                            RandomAdversary::new(KUncertainty::new(n, k), SEED);
+                        one_round_kset(n, k, &inputs, &mut adv).unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

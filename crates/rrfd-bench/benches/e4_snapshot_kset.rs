@@ -1,0 +1,41 @@
+//! E4 — Corollary 3.2: k-set agreement on snapshot shared memory with
+//! `k − 1` crash faults, sweeping `n` and `k`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{agreement_inputs, quick_criterion, SEED};
+use rrfd_core::SystemSize;
+use rrfd_protocols::kset::SnapshotKSet;
+use rrfd_sims::shared_mem::{RandomScheduler, SharedMemSim};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_snapshot_kset");
+    for &(nv, k) in &[(4usize, 2usize), (8, 3), (16, 5), (32, 9)] {
+        let n = SystemSize::new(nv).unwrap();
+        let inputs = agreement_inputs(nv);
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{nv}"), k),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| {
+                    let procs: Vec<_> = inputs
+                        .iter()
+                        .map(|&v| SnapshotKSet::new(n, k, v))
+                        .collect();
+                    let mut sched = RandomScheduler::new(SEED, k - 1).crash_prob(0.02);
+                    SharedMemSim::new(n, 1)
+                        .with_snapshots()
+                        .run(procs, &mut sched)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E5 — Theorem 3.3: constructing the k-uncertainty detector from a
+//! k-set-consensus object plus SWMR memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{quick_criterion, SEED};
+use rrfd_core::{RrfdPredicate, SystemSize};
+use rrfd_models::predicates::KUncertainty;
+use rrfd_protocols::detector_from_kset::build_detector_pattern;
+use rrfd_sims::shared_mem::RandomScheduler;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_detector_from_kset");
+    for &(nv, k) in &[(4usize, 1usize), (8, 2), (16, 4), (32, 8)] {
+        let n = SystemSize::new(nv).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("n{nv}"), k),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| {
+                    let mut sched = RandomScheduler::new(SEED, 0);
+                    let pattern =
+                        build_detector_pattern(n, k, 4, SEED, &mut sched).unwrap();
+                    assert!(KUncertainty::new(n, k).admits_pattern(&pattern));
+                    pattern
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

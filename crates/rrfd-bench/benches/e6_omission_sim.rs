@@ -1,0 +1,43 @@
+//! E6 — Theorem 4.1: running `⌊f/k⌋` rounds under the snapshot model and
+//! certifying them as send-omission rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{agreement_inputs, quick_criterion, SEED};
+use rrfd_core::SystemSize;
+use rrfd_models::adversary::RandomAdversary;
+use rrfd_models::predicates::Snapshot;
+use rrfd_protocols::kset::FloodMin;
+use rrfd_protocols::sync_sim::run_as_omission;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_omission_sim");
+    for &(nv, f, k) in &[(8usize, 4usize, 2usize), (16, 9, 3), (32, 12, 4)] {
+        let n = SystemSize::new(nv).unwrap();
+        let budget = (f / k) as u32;
+        let inputs = agreement_inputs(nv);
+        group.bench_with_input(
+            BenchmarkId::new("simulate_and_certify", format!("n{nv}_f{f}_k{k}")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let protos: Vec<_> = inputs
+                        .iter()
+                        .map(|&v| FloodMin::new(v, budget))
+                        .collect();
+                    let mut adv = RandomAdversary::new(Snapshot::new(n, k), SEED);
+                    let report = run_as_omission(n, f, k, protos, &mut adv).unwrap();
+                    assert!(report.omission_certified);
+                    report
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E7 — §4.2's adopt-commit protocol: latency per instance (2 writes +
+//! 2n reads per process), unanimous vs contended inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{quick_criterion, SEED, SYSTEM_SIZES};
+use rrfd_core::SystemSize;
+use rrfd_protocols::adopt_commit::run_adopt_commit;
+use rrfd_sims::shared_mem::RandomScheduler;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_adopt_commit");
+    for &nv in SYSTEM_SIZES {
+        let n = SystemSize::new(nv).unwrap();
+        let unanimous: Vec<u64> = vec![7; nv];
+        let contended: Vec<u64> = (0..nv as u64).collect();
+
+        group.bench_with_input(BenchmarkId::new("unanimous", nv), &n, |b, &n| {
+            b.iter(|| {
+                let mut sched = RandomScheduler::new(SEED, 0);
+                run_adopt_commit(n, &unanimous, &mut sched).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("contended", nv), &n, |b, &n| {
+            b.iter(|| {
+                let mut sched = RandomScheduler::new(SEED, 0);
+                run_adopt_commit(n, &contended, &mut sched).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E8 — Theorem 4.3: full crash-round simulation (snapshot phase + n
+//! adopt-commit instances per simulated round) with certification. The
+//! interesting shape: cost per simulated round is Θ(n²) register
+//! operations per process, i.e. the paper's "three rounds" carry a real
+//! constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{agreement_inputs, quick_criterion, SEED};
+use rrfd_core::SystemSize;
+use rrfd_protocols::kset::FloodMin;
+use rrfd_protocols::sync_sim::run_crash_simulation;
+use rrfd_sims::shared_mem::RandomScheduler;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_crash_sim");
+    for &(nv, f, k) in &[(5usize, 2usize, 1usize), (8, 4, 2), (12, 6, 3)] {
+        let n = SystemSize::new(nv).unwrap();
+        let budget = (f / k) as u32;
+        let inputs = agreement_inputs(nv);
+        group.bench_with_input(
+            BenchmarkId::new("simulate_and_certify", format!("n{nv}_f{f}_k{k}")),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let protos: Vec<_> = inputs
+                        .iter()
+                        .map(|&v| FloodMin::new(v, budget))
+                        .collect();
+                    let mut sched = RandomScheduler::new(SEED, k).crash_prob(0.01);
+                    let report =
+                        run_crash_simulation(n, k, f, budget, protos, &mut sched)
+                            .unwrap();
+                    assert!(report.crash_certified);
+                    report
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

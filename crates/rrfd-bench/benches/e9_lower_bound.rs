@@ -1,0 +1,47 @@
+//! E9 — Corollaries 4.2/4.4: flood-min against the chain-silencing
+//! adversary at the failing budget `⌊f/k⌋` and the tight budget
+//! `⌊f/k⌋ + 1`. The bench shows the cost of the extra round is linear in
+//! the message load, i.e. the lower bound is about *information*, not
+//! computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::quick_criterion;
+use rrfd_core::{Engine, SystemSize};
+use rrfd_models::adversary::SilencingCrash;
+use rrfd_models::predicates::Crash;
+use rrfd_protocols::kset::FloodMin;
+
+fn run(n: SystemSize, f: usize, k: usize, budget: u32) {
+    let protos: Vec<_> = (0..n.get() as u64)
+        .map(|v| FloodMin::new(v, budget))
+        .collect();
+    let mut adv = SilencingCrash::new(n, f, k);
+    let model = Crash::new(n, f);
+    let _ = Engine::new(n).run(protos, &mut adv, &model).unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_lower_bound");
+    for &(nv, f, k) in &[(6usize, 3usize, 1usize), (10, 4, 2), (13, 6, 3), (26, 8, 4)] {
+        let n = SystemSize::new(nv).unwrap();
+        let floor = (f / k) as u32;
+        group.bench_with_input(
+            BenchmarkId::new("short_budget", format!("n{nv}_f{f}_k{k}")),
+            &(n, f, k),
+            |b, &(n, f, k)| b.iter(|| run(n, f, k, floor)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tight_budget", format!("n{nv}_f{f}_k{k}")),
+            &(n, f, k),
+            |b, &(n, f, k)| b.iter(|| run(n, f, k, floor + 1)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

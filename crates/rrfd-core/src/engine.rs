@@ -1,0 +1,588 @@
+//! The emit/receive round engine — the paper's abstract algorithm skeleton.
+//!
+//! ```text
+//! r := 1
+//! forever do
+//!     compute messages m_{i,r} for round r
+//!     emit m_{i,r}
+//!     (wait until) ∀ p_j ∈ S: received m_{j,r} or p_j ∈ D(i,r)
+//!     r := r + 1
+//! end
+//! ```
+//!
+//! [`Engine::run`] drives a vector of [`RoundProtocol`] instances against a
+//! [`FaultDetector`] (the adversary), validating every adversary output
+//! against the model predicate and recording the fault pattern so the run
+//! can be audited afterwards.
+
+use crate::id::{ProcessId, Round, SystemSize};
+use crate::idset::IdSet;
+use crate::pattern::{FaultPattern, RoundFaults};
+use crate::predicate::{validate_round, PatternViolation, RrfdPredicate};
+use std::fmt;
+
+/// A round-by-round fault detector, viewed as an adversary: at each round it
+/// chooses the suspicion sets `D(i,r)` for every process, constrained (and
+/// checked by the engine) against the model predicate.
+pub trait FaultDetector {
+    /// The system size the detector serves.
+    fn system_size(&self) -> SystemSize;
+
+    /// Produces the suspicion sets for the next round, given the recorded
+    /// history of previous rounds.
+    fn next_round(&mut self, round: Round, history: &FaultPattern) -> RoundFaults;
+}
+
+impl<D: FaultDetector + ?Sized> FaultDetector for &mut D {
+    fn system_size(&self) -> SystemSize {
+        (**self).system_size()
+    }
+    fn next_round(&mut self, round: Round, history: &FaultPattern) -> RoundFaults {
+        (**self).next_round(round, history)
+    }
+}
+
+impl<D: FaultDetector + ?Sized> FaultDetector for Box<D> {
+    fn system_size(&self) -> SystemSize {
+        (**self).system_size()
+    }
+    fn next_round(&mut self, round: Round, history: &FaultPattern) -> RoundFaults {
+        (**self).next_round(round, history)
+    }
+}
+
+/// What a process sees at the end of a round: the messages it received and
+/// the set of processes its fault detector told it not to wait for.
+///
+/// The engine guarantees the paper's covering property
+/// `S(i,r) ∪ D(i,r) = S`: `received[j]` is `Some` exactly when
+/// `p_j ∉ suspected`. Note that `p_i ∈ suspected` is allowed — a process may
+/// be "late to its own round" — in which case it still knows its own message
+/// through its local state.
+#[derive(Debug)]
+pub struct Delivery<'a, M> {
+    /// The round that just completed.
+    pub round: Round,
+    /// The receiving process.
+    pub me: ProcessId,
+    /// `received[j]` is the round message of `p_j`, or `None` if suspected.
+    pub received: &'a [Option<M>],
+    /// The set `D(me, round)`.
+    pub suspected: IdSet,
+}
+
+impl<'a, M> Delivery<'a, M> {
+    /// The set `S(i,r)` of processes whose message arrived.
+    #[must_use]
+    pub fn heard_from(&self) -> IdSet {
+        self.received
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_some())
+            .map(|(j, _)| ProcessId::new(j))
+            .collect()
+    }
+}
+
+/// A process's verdict after a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control<O> {
+    /// Keep running; compute the next round's message.
+    Continue,
+    /// Commit to an output. The process keeps participating in subsequent
+    /// rounds (the abstract loop runs forever) but its decision is final.
+    Decide(O),
+}
+
+/// A process in an RRFD computation: computes a message per round and folds
+/// in what the round delivered.
+pub trait RoundProtocol {
+    /// Per-round message type.
+    type Msg: Clone;
+    /// Decision value type.
+    type Output: Clone;
+
+    /// Computes the message `m_{i,r}` to emit at `round`.
+    fn emit(&mut self, round: Round) -> Self::Msg;
+
+    /// Consumes the round's delivery; may decide.
+    fn deliver(&mut self, delivery: Delivery<'_, Self::Msg>) -> Control<Self::Output>;
+}
+
+/// The outcome of [`Engine::run`].
+#[derive(Debug, Clone)]
+pub struct RunReport<O> {
+    /// `decisions[i]` is `Some` once `p_i` decided, with the round at which
+    /// it did.
+    pub decisions: Vec<Option<(O, Round)>>,
+    /// The full fault pattern the detector produced.
+    pub pattern: FaultPattern,
+    /// Number of rounds executed.
+    pub rounds_executed: u32,
+}
+
+impl<O: Clone> RunReport<O> {
+    /// `true` when every process decided.
+    #[must_use]
+    pub fn all_decided(&self) -> bool {
+        self.decisions.iter().all(Option::is_some)
+    }
+
+    /// The decision values without their rounds, aligned by process.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<Option<O>> {
+        self.decisions
+            .iter()
+            .map(|d| d.as_ref().map(|(v, _)| v.clone()))
+            .collect()
+    }
+
+    /// The latest round at which any process decided, if all decided.
+    #[must_use]
+    pub fn decision_round(&self) -> Option<Round> {
+        self.decisions
+            .iter()
+            .map(|d| d.as_ref().map(|&(_, r)| r))
+            .collect::<Option<Vec<_>>>()
+            .map(|rs| rs.into_iter().max().expect("non-empty system"))
+    }
+}
+
+/// Errors surfaced by [`Engine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The adversary produced an illegal round (caught by validation).
+    Violation(PatternViolation),
+    /// The protocol vector does not match the system size.
+    WrongProcessCount {
+        /// Number of protocol instances supplied.
+        supplied: usize,
+        /// System size expected.
+        expected: usize,
+    },
+    /// `max_rounds` elapsed before every process decided.
+    RoundLimitExceeded {
+        /// The configured limit.
+        max_rounds: u32,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Violation(v) => write!(f, "adversary violation: {v}"),
+            EngineError::WrongProcessCount { supplied, expected } => write!(
+                f,
+                "supplied {supplied} protocol instances for a system of {expected} processes"
+            ),
+            EngineError::RoundLimitExceeded { max_rounds } => {
+                write!(f, "no full decision after {max_rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PatternViolation> for EngineError {
+    fn from(v: PatternViolation) -> Self {
+        EngineError::Violation(v)
+    }
+}
+
+/// Drives protocols against a fault detector under a model predicate.
+///
+/// # Examples
+///
+/// Echo protocols that decide on the set of processes heard from in round 1:
+///
+/// ```
+/// use rrfd_core::{
+///     AnyPattern, Control, Delivery, Engine, FaultDetector, FaultPattern, IdSet,
+///     Round, RoundFaults, RoundProtocol, SystemSize,
+/// };
+///
+/// struct Echo;
+/// impl RoundProtocol for Echo {
+///     type Msg = ();
+///     type Output = IdSet;
+///     fn emit(&mut self, _r: Round) {}
+///     fn deliver(&mut self, d: Delivery<'_, ()>) -> Control<IdSet> {
+///         Control::Decide(d.heard_from())
+///     }
+/// }
+///
+/// struct Silent(SystemSize);
+/// impl FaultDetector for Silent {
+///     fn system_size(&self) -> SystemSize { self.0 }
+///     fn next_round(&mut self, _r: Round, _h: &FaultPattern) -> RoundFaults {
+///         RoundFaults::none(self.0)
+///     }
+/// }
+///
+/// let n = SystemSize::new(3).unwrap();
+/// let report = Engine::new(n)
+///     .run(vec![Echo, Echo, Echo], &mut Silent(n), &AnyPattern::new(n))
+///     .unwrap();
+/// assert!(report.all_decided());
+/// assert_eq!(report.rounds_executed, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    n: SystemSize,
+    max_rounds: u32,
+}
+
+/// Default bound on rounds before the engine reports
+/// [`EngineError::RoundLimitExceeded`].
+pub const DEFAULT_MAX_ROUNDS: u32 = 10_000;
+
+impl Engine {
+    /// Creates an engine for a system of `n` processes with the default
+    /// round limit.
+    #[must_use]
+    pub fn new(n: SystemSize) -> Self {
+        Engine {
+            n,
+            max_rounds: DEFAULT_MAX_ROUNDS,
+        }
+    }
+
+    /// Sets the maximum number of rounds before the run is abandoned.
+    #[must_use]
+    pub fn max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The system size.
+    #[must_use]
+    pub fn system_size(&self) -> SystemSize {
+        self.n
+    }
+
+    /// Runs the protocols to completion (all decided) or to the round limit.
+    ///
+    /// Each round: every process emits; the detector chooses `D(i,r)`; the
+    /// engine validates the round against `model`; every process receives
+    /// `m_{j,r}` for each `j ∉ D(i,r)` plus its suspicion set.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::WrongProcessCount`] if `protocols.len() != n`.
+    /// * [`EngineError::Violation`] if the detector breaks well-formedness
+    ///   or the model predicate.
+    /// * [`EngineError::RoundLimitExceeded`] if some process never decides.
+    pub fn run<P, D, Q>(
+        &self,
+        mut protocols: Vec<P>,
+        detector: &mut D,
+        model: &Q,
+    ) -> Result<RunReport<P::Output>, EngineError>
+    where
+        P: RoundProtocol,
+        D: FaultDetector + ?Sized,
+        Q: RrfdPredicate + ?Sized,
+    {
+        if protocols.len() != self.n.get() {
+            return Err(EngineError::WrongProcessCount {
+                supplied: protocols.len(),
+                expected: self.n.get(),
+            });
+        }
+
+        let n = self.n.get();
+        let mut pattern = FaultPattern::new(self.n);
+        let mut decisions: Vec<Option<(P::Output, Round)>> = vec![None; n];
+
+        for round_no in 1..=self.max_rounds {
+            let round = Round::new(round_no);
+
+            // Emit phase.
+            let messages: Vec<P::Msg> =
+                protocols.iter_mut().map(|p| p.emit(round)).collect();
+
+            // The detector chooses and the engine validates D(·, r).
+            let faults = detector.next_round(round, &pattern);
+            validate_round(model, &pattern, &faults)?;
+
+            // Receive phase: p_i gets m_{j,r} iff j ∉ D(i,r).
+            for (i, protocol) in protocols.iter_mut().enumerate() {
+                let me = ProcessId::new(i);
+                let suspected = faults.of(me);
+                let received: Vec<Option<P::Msg>> = (0..n)
+                    .map(|j| {
+                        if suspected.contains(ProcessId::new(j)) {
+                            None
+                        } else {
+                            Some(messages[j].clone())
+                        }
+                    })
+                    .collect();
+                let verdict = protocol.deliver(Delivery {
+                    round,
+                    me,
+                    received: &received,
+                    suspected,
+                });
+                if let Control::Decide(value) = verdict {
+                    // First decision wins; later Decide outputs are ignored,
+                    // matching "commit to outputs".
+                    decisions[i].get_or_insert((value, round));
+                }
+            }
+
+            pattern.push(faults);
+
+            if decisions.iter().all(Option::is_some) {
+                return Ok(RunReport {
+                    decisions,
+                    pattern,
+                    rounds_executed: round_no,
+                });
+            }
+        }
+
+        Err(EngineError::RoundLimitExceeded {
+            max_rounds: self.max_rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: usize) -> SystemSize {
+        SystemSize::new(v).unwrap()
+    }
+
+    /// Decides after a fixed number of rounds, recording what it heard.
+    struct DecideAfter {
+        rounds: u32,
+        heard: Vec<IdSet>,
+    }
+
+    impl DecideAfter {
+        fn new(rounds: u32) -> Self {
+            DecideAfter {
+                rounds,
+                heard: Vec::new(),
+            }
+        }
+    }
+
+    impl RoundProtocol for DecideAfter {
+        type Msg = u32;
+        type Output = usize;
+
+        fn emit(&mut self, round: Round) -> u32 {
+            round.get()
+        }
+
+        fn deliver(&mut self, d: Delivery<'_, u32>) -> Control<usize> {
+            self.heard.push(d.heard_from());
+            if d.round.get() >= self.rounds {
+                Control::Decide(self.heard.len())
+            } else {
+                Control::Continue
+            }
+        }
+    }
+
+    struct FixedDetector {
+        n: SystemSize,
+        per_round: Vec<RoundFaults>,
+    }
+
+    impl FaultDetector for FixedDetector {
+        fn system_size(&self) -> SystemSize {
+            self.n
+        }
+        fn next_round(&mut self, round: Round, _h: &FaultPattern) -> RoundFaults {
+            self.per_round
+                .get(round.index())
+                .cloned()
+                .unwrap_or_else(|| RoundFaults::none(self.n))
+        }
+    }
+
+    use crate::predicate::AnyPattern;
+
+    #[test]
+    fn runs_to_decision_and_reports_rounds() {
+        let size = n(4);
+        let protos: Vec<_> = (0..4).map(|_| DecideAfter::new(3)).collect();
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![],
+        };
+        let report = Engine::new(size)
+            .run(protos, &mut det, &AnyPattern::new(size))
+            .unwrap();
+        assert!(report.all_decided());
+        assert_eq!(report.rounds_executed, 3);
+        assert_eq!(report.decision_round(), Some(Round::new(3)));
+        assert_eq!(report.pattern.rounds(), 3);
+        for d in report.outputs() {
+            assert_eq!(d, Some(3));
+        }
+    }
+
+    #[test]
+    fn suspected_messages_are_withheld() {
+        let size = n(3);
+        // Round 1: p0 suspects p2.
+        let mut r1 = RoundFaults::none(size);
+        r1.set(ProcessId::new(0), IdSet::singleton(ProcessId::new(2)));
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![r1],
+        };
+
+        struct Observe;
+        impl RoundProtocol for Observe {
+            type Msg = ();
+            type Output = IdSet;
+            fn emit(&mut self, _r: Round) {}
+            fn deliver(&mut self, d: Delivery<'_, ()>) -> Control<IdSet> {
+                // Covering property: received ∪ suspected = S.
+                let n = SystemSize::new(d.received.len()).unwrap();
+                assert_eq!(d.heard_from().union(d.suspected), IdSet::universe(n));
+                Control::Decide(d.heard_from())
+            }
+        }
+
+        let report = Engine::new(size)
+            .run(vec![Observe, Observe, Observe], &mut det, &AnyPattern::new(size))
+            .unwrap();
+        let outs = report.outputs();
+        let p0_heard = outs[0].unwrap();
+        assert!(!p0_heard.contains(ProcessId::new(2)));
+        assert!(p0_heard.contains(ProcessId::new(0)));
+        let p1_heard = outs[1].unwrap();
+        assert_eq!(p1_heard, IdSet::universe(size));
+    }
+
+    #[test]
+    fn wrong_process_count_is_reported() {
+        let size = n(3);
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![],
+        };
+        let err = Engine::new(size)
+            .run(vec![DecideAfter::new(1)], &mut det, &AnyPattern::new(size))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::WrongProcessCount {
+                supplied: 1,
+                expected: 3
+            }
+        );
+    }
+
+    #[test]
+    fn ill_formed_adversary_is_caught() {
+        let size = n(3);
+        let mut r1 = RoundFaults::none(size);
+        r1.set(ProcessId::new(1), IdSet::universe(size));
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![r1],
+        };
+        let protos: Vec<_> = (0..3).map(|_| DecideAfter::new(1)).collect();
+        let err = Engine::new(size)
+            .run(protos, &mut det, &AnyPattern::new(size))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Violation(PatternViolation::IllFormed { .. })
+        ));
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let size = n(2);
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![],
+        };
+        let protos: Vec<_> = (0..2).map(|_| DecideAfter::new(100)).collect();
+        let err = Engine::new(size)
+            .max_rounds(5)
+            .run(protos, &mut det, &AnyPattern::new(size))
+            .unwrap_err();
+        assert_eq!(err, EngineError::RoundLimitExceeded { max_rounds: 5 });
+    }
+
+    #[test]
+    fn first_decision_is_final() {
+        let size = n(2);
+
+        /// Decides a different value every round; only the first must stick.
+        struct Flaky;
+        impl RoundProtocol for Flaky {
+            type Msg = ();
+            type Output = u32;
+            fn emit(&mut self, _r: Round) {}
+            fn deliver(&mut self, d: Delivery<'_, ()>) -> Control<u32> {
+                Control::Decide(d.round.get())
+            }
+        }
+
+        /// Never decides until round 3, forcing extra rounds for everyone.
+        struct Late;
+        impl RoundProtocol for Late {
+            type Msg = ();
+            type Output = u32;
+            fn emit(&mut self, _r: Round) {}
+            fn deliver(&mut self, d: Delivery<'_, ()>) -> Control<u32> {
+                if d.round.get() >= 3 {
+                    Control::Decide(99)
+                } else {
+                    Control::Continue
+                }
+            }
+        }
+
+        // Heterogeneous protocols need a common type; box them via an enum.
+        enum Either {
+            Flaky(Flaky),
+            Late(Late),
+        }
+        impl RoundProtocol for Either {
+            type Msg = ();
+            type Output = u32;
+            fn emit(&mut self, r: Round) {
+                match self {
+                    Either::Flaky(p) => p.emit(r),
+                    Either::Late(p) => p.emit(r),
+                }
+            }
+            fn deliver(&mut self, d: Delivery<'_, ()>) -> Control<u32> {
+                match self {
+                    Either::Flaky(p) => p.deliver(d),
+                    Either::Late(p) => p.deliver(d),
+                }
+            }
+        }
+
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![],
+        };
+        let report = Engine::new(size)
+            .run(
+                vec![Either::Flaky(Flaky), Either::Late(Late)],
+                &mut det,
+                &AnyPattern::new(size),
+            )
+            .unwrap();
+        let d0 = report.decisions[0].unwrap();
+        assert_eq!(d0, (1, Round::new(1)), "first decision must be kept");
+        assert_eq!(report.decisions[1].unwrap().0, 99);
+        assert_eq!(report.rounds_executed, 3);
+    }
+}

@@ -1,0 +1,318 @@
+//! Full-information protocols and knowledge tracking.
+//!
+//! Several of the paper's arguments "run the system in full information
+//! mode": every process relays everything it knows each round, and claims
+//! are made about how knowledge spreads (e.g. §2 item 4's cycle argument —
+//! if after `k` rounds no process is known by all, the "does not know"
+//! relation contains a cycle of length ≥ k+1, hence after `n` rounds some
+//! process is known to all).
+//!
+//! [`KnowledgeState`] is a reusable full-information process state: it knows
+//! a subset of the `n` inputs, emits its whole knowledge, and merges what it
+//! receives. [`KnowledgeProtocol`] wraps it as a [`RoundProtocol`] that runs
+//! for a fixed number of rounds and then reports its final knowledge.
+
+use crate::engine::{Control, Delivery, RoundProtocol};
+use crate::id::{ProcessId, Round, SystemSize};
+use crate::idset::IdSet;
+
+/// What one process knows: for each originator, the originator's input if
+/// it has been learned (directly or transitively).
+///
+/// # Examples
+///
+/// ```
+/// use rrfd_core::{KnowledgeState, ProcessId, SystemSize};
+///
+/// let n = SystemSize::new(3).unwrap();
+/// let mut a = KnowledgeState::with_own_input(n, ProcessId::new(0), 10);
+/// let b = KnowledgeState::with_own_input(n, ProcessId::new(1), 20);
+/// a.merge(&b);
+/// assert_eq!(a.input_of(ProcessId::new(1)), Some(20));
+/// assert_eq!(a.known().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnowledgeState<V> {
+    inputs: Vec<Option<V>>,
+}
+
+impl<V: Clone + PartialEq> KnowledgeState<V> {
+    /// Empty knowledge over a system of `n` processes.
+    #[must_use]
+    pub fn empty(n: SystemSize) -> Self {
+        KnowledgeState {
+            inputs: vec![None; n.get()],
+        }
+    }
+
+    /// Knowledge consisting only of one's own input.
+    #[must_use]
+    pub fn with_own_input(n: SystemSize, me: ProcessId, input: V) -> Self {
+        let mut state = Self::empty(n);
+        state.inputs[me.index()] = Some(input);
+        state
+    }
+
+    /// The set of originators whose input is known.
+    #[must_use]
+    pub fn known(&self) -> IdSet {
+        self.inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_some())
+            .map(|(i, _)| ProcessId::new(i))
+            .collect()
+    }
+
+    /// The input of `origin`, if known.
+    #[must_use]
+    pub fn input_of(&self, origin: ProcessId) -> Option<V> {
+        self.inputs[origin.index()].clone()
+    }
+
+    /// Learns `input` as the value of `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a *different* value was already recorded for `origin` —
+    /// full-information relaying never produces conflicting values for the
+    /// same originator, so a conflict is a harness bug.
+    pub fn learn(&mut self, origin: ProcessId, input: V) {
+        match &self.inputs[origin.index()] {
+            Some(existing) => assert!(
+                *existing == input,
+                "conflicting inputs recorded for {origin}"
+            ),
+            None => self.inputs[origin.index()] = Some(input),
+        }
+    }
+
+    /// Merges everything `other` knows into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on conflicting values for the same originator (see
+    /// [`KnowledgeState::learn`]).
+    pub fn merge(&mut self, other: &KnowledgeState<V>) {
+        for (i, v) in other.inputs.iter().enumerate() {
+            if let Some(v) = v {
+                self.learn(ProcessId::new(i), v.clone());
+            }
+        }
+    }
+
+    /// The known `(origin, input)` pairs in identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &V)> + '_ {
+        self.inputs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (ProcessId::new(i), v)))
+    }
+}
+
+/// A full-information [`RoundProtocol`]: relays its entire knowledge every
+/// round and decides its final [`KnowledgeState`] after `rounds` rounds.
+#[derive(Debug, Clone)]
+pub struct KnowledgeProtocol<V> {
+    state: KnowledgeState<V>,
+    rounds: u32,
+}
+
+impl<V: Clone + PartialEq> KnowledgeProtocol<V> {
+    /// Creates a process that starts knowing only its own input and runs for
+    /// `rounds` rounds.
+    #[must_use]
+    pub fn new(n: SystemSize, me: ProcessId, input: V, rounds: u32) -> Self {
+        KnowledgeProtocol {
+            state: KnowledgeState::with_own_input(n, me, input),
+            rounds,
+        }
+    }
+
+    /// Current knowledge (useful mid-run in hand-driven harnesses).
+    #[must_use]
+    pub fn state(&self) -> &KnowledgeState<V> {
+        &self.state
+    }
+}
+
+impl<V: Clone + PartialEq> RoundProtocol for KnowledgeProtocol<V> {
+    type Msg = KnowledgeState<V>;
+    type Output = KnowledgeState<V>;
+
+    fn emit(&mut self, _round: Round) -> KnowledgeState<V> {
+        self.state.clone()
+    }
+
+    fn deliver(
+        &mut self,
+        delivery: Delivery<'_, KnowledgeState<V>>,
+    ) -> Control<KnowledgeState<V>> {
+        for msg in delivery.received.iter().flatten() {
+            self.state.merge(msg);
+        }
+        if delivery.round.get() >= self.rounds {
+            Control::Decide(self.state.clone())
+        } else {
+            Control::Continue
+        }
+    }
+}
+
+/// Tracks, across a run, which process is known by whom — the "does not
+/// know" relation of §2 item 4.
+///
+/// `knows[i]` is the set of originators whose round-1 value `p_i` has
+/// (transitively) learned. A process `p_j` is *known by all* when every
+/// `knows[i]` contains `j`.
+#[derive(Debug, Clone)]
+pub struct KnowledgeMatrix {
+    n: SystemSize,
+    knows: Vec<IdSet>,
+}
+
+impl KnowledgeMatrix {
+    /// Initial matrix: every process knows exactly itself.
+    #[must_use]
+    pub fn reflexive(n: SystemSize) -> Self {
+        KnowledgeMatrix {
+            n,
+            knows: n.processes().map(IdSet::singleton).collect(),
+        }
+    }
+
+    /// The system size.
+    #[must_use]
+    pub fn system_size(&self) -> SystemSize {
+        self.n
+    }
+
+    /// The set of originators `p_i` knows.
+    #[must_use]
+    pub fn knows(&self, i: ProcessId) -> IdSet {
+        self.knows[i.index()]
+    }
+
+    /// Applies one gossip round: `p_i` additionally learns everything known
+    /// by each `p_j` it heard from (`j ∉ D(i,r)`), where `suspected[i]`
+    /// is `D(i, r)`.
+    pub fn gossip_round(&mut self, suspected: &[IdSet]) {
+        assert_eq!(suspected.len(), self.n.get());
+        let snapshot = self.knows.clone();
+        for (knows, susp) in self.knows.iter_mut().zip(suspected) {
+            let heard = susp.complement(self.n);
+            for j in heard.iter() {
+                *knows |= snapshot[j.index()];
+            }
+        }
+    }
+
+    /// Processes known by *every* process.
+    #[must_use]
+    pub fn known_by_all(&self) -> IdSet {
+        self.knows
+            .iter()
+            .copied()
+            .fold(IdSet::universe(self.n), IdSet::intersection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::pattern::{FaultPattern, RoundFaults};
+    use crate::predicate::AnyPattern;
+
+    fn n(v: usize) -> SystemSize {
+        SystemSize::new(v).unwrap()
+    }
+
+    #[test]
+    fn knowledge_merges_without_conflict() {
+        let size = n(4);
+        let mut a = KnowledgeState::with_own_input(size, ProcessId::new(0), 5u64);
+        let mut b = KnowledgeState::with_own_input(size, ProcessId::new(1), 6u64);
+        b.learn(ProcessId::new(2), 7);
+        a.merge(&b);
+        assert_eq!(a.known().len(), 3);
+        assert_eq!(a.input_of(ProcessId::new(2)), Some(7));
+        let pairs: Vec<(usize, u64)> = a.iter().map(|(p, v)| (p.index(), *v)).collect();
+        assert_eq!(pairs, vec![(0, 5), (1, 6), (2, 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting inputs")]
+    fn conflicting_learn_panics() {
+        let size = n(2);
+        let mut a = KnowledgeState::with_own_input(size, ProcessId::new(0), 1u64);
+        a.learn(ProcessId::new(0), 2);
+    }
+
+    #[test]
+    fn fault_free_gossip_reaches_everyone_in_one_round() {
+        let size = n(5);
+        struct Silent(SystemSize);
+        impl crate::engine::FaultDetector for Silent {
+            fn system_size(&self) -> SystemSize {
+                self.0
+            }
+            fn next_round(&mut self, _r: Round, _h: &FaultPattern) -> RoundFaults {
+                RoundFaults::none(self.0)
+            }
+        }
+        let protos: Vec<_> = size
+            .processes()
+            .map(|p| KnowledgeProtocol::new(size, p, p.index() as u64, 1))
+            .collect();
+        let report = Engine::new(size)
+            .run(protos, &mut Silent(size), &AnyPattern::new(size))
+            .unwrap();
+        for out in report.outputs() {
+            assert_eq!(out.unwrap().known(), IdSet::universe(size));
+        }
+    }
+
+    #[test]
+    fn matrix_gossip_respects_suspicions() {
+        let size = n(3);
+        let mut m = KnowledgeMatrix::reflexive(size);
+        // p0 suspects p2; p1 and p2 hear everyone.
+        let susp = vec![
+            IdSet::singleton(ProcessId::new(2)),
+            IdSet::empty(),
+            IdSet::empty(),
+        ];
+        m.gossip_round(&susp);
+        assert!(!m.knows(ProcessId::new(0)).contains(ProcessId::new(2)));
+        assert_eq!(m.knows(ProcessId::new(1)), IdSet::universe(size));
+        assert_eq!(m.known_by_all(), {
+            let mut s = IdSet::empty();
+            s.insert(ProcessId::new(0));
+            s.insert(ProcessId::new(1));
+            s
+        });
+    }
+
+    #[test]
+    fn cycle_argument_bound_holds_on_a_ring_miss_pattern() {
+        // The §2 item 4 construction: p_i misses p_{i+1 mod n} every round.
+        // Under the antisymmetric predicate this is legal, and the paper
+        // argues some process becomes known to all within n rounds.
+        let size = n(6);
+        let mut m = KnowledgeMatrix::reflexive(size);
+        let susp: Vec<IdSet> = (0..6)
+            .map(|i| IdSet::singleton(ProcessId::new((i + 1) % 6)))
+            .collect();
+        let mut rounds_needed = None;
+        for r in 1..=6 {
+            m.gossip_round(&susp);
+            if !m.known_by_all().is_empty() {
+                rounds_needed = Some(r);
+                break;
+            }
+        }
+        let r = rounds_needed.expect("someone must be known to all within n rounds");
+        assert!(r <= 6);
+    }
+}

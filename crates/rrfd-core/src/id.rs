@@ -1,0 +1,282 @@
+//! Process identifiers and system sizes.
+//!
+//! The paper works with a fixed set `S` of `n` processes `p_1, …, p_n`.
+//! We index processes from `0` to `n − 1` with [`ProcessId`], and capture the
+//! validated system size with [`SystemSize`]. Both are cheap `Copy` newtypes
+//! so they can flow through hot simulation paths without indirection.
+
+use std::fmt;
+
+/// Maximum number of processes supported by the library.
+///
+/// [`crate::IdSet`] packs membership into a `u128`, which bounds systems to
+/// 128 processes. Every experiment in the paper is comfortably below this
+/// (lower-bound constructions are interesting already at `n ≤ 64`).
+pub const MAX_PROCESSES: usize = 128;
+
+/// Identifier of a process, in `0..n`.
+///
+/// The paper's one-round k-set agreement algorithm (Theorem 3.1) relies on
+/// identifiers being totally ordered ("the process in `S − D(i,1)` with the
+/// lowest process identifier"), so `ProcessId` is `Ord`.
+///
+/// # Examples
+///
+/// ```
+/// use rrfd_core::ProcessId;
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert!(ProcessId::new(1) < ProcessId::new(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(u8);
+
+impl ProcessId {
+    /// Creates a process identifier from its zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= MAX_PROCESSES`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index < MAX_PROCESSES,
+            "process index {index} exceeds MAX_PROCESSES ({MAX_PROCESSES})"
+        );
+        ProcessId(index as u8)
+    }
+
+    /// Zero-based index of this process.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(id: ProcessId) -> usize {
+        id.index()
+    }
+}
+
+/// A validated system size `n` with `1 ≤ n ≤ MAX_PROCESSES`.
+///
+/// Constructing a `SystemSize` once at the boundary lets the rest of the
+/// library assume a well-formed process universe.
+///
+/// # Examples
+///
+/// ```
+/// use rrfd_core::SystemSize;
+/// let n = SystemSize::new(5).unwrap();
+/// assert_eq!(n.get(), 5);
+/// let ids: Vec<_> = n.processes().collect();
+/// assert_eq!(ids.len(), 5);
+/// assert!(SystemSize::new(0).is_err());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SystemSize(u8);
+
+impl SystemSize {
+    /// Creates a system size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidSystemSize`] when `n == 0` or `n > MAX_PROCESSES`.
+    pub fn new(n: usize) -> Result<Self, InvalidSystemSize> {
+        if n == 0 || n > MAX_PROCESSES {
+            Err(InvalidSystemSize { requested: n })
+        } else {
+            Ok(SystemSize(n as u8))
+        }
+    }
+
+    /// The number of processes `n`.
+    #[must_use]
+    pub fn get(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over every process identifier `p_0, …, p_{n−1}`.
+    pub fn processes(self) -> impl Iterator<Item = ProcessId> + Clone {
+        (0..self.get()).map(ProcessId::new)
+    }
+
+    /// Returns `true` when `id` belongs to this system.
+    #[must_use]
+    pub fn contains(self, id: ProcessId) -> bool {
+        id.index() < self.get()
+    }
+}
+
+impl fmt::Debug for SystemSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={}", self.0)
+    }
+}
+
+impl fmt::Display for SystemSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Error returned by [`SystemSize::new`] for out-of-range sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidSystemSize {
+    /// The rejected size.
+    pub requested: usize,
+}
+
+impl fmt::Display for InvalidSystemSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid system size {} (must be in 1..={})",
+            self.requested, MAX_PROCESSES
+        )
+    }
+}
+
+impl std::error::Error for InvalidSystemSize {}
+
+/// A round number, starting at 1 as in the paper (`r = 1, 2, …`).
+///
+/// # Examples
+///
+/// ```
+/// use rrfd_core::Round;
+/// let r = Round::FIRST;
+/// assert_eq!(r.get(), 1);
+/// assert_eq!(r.next().get(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Round(u32);
+
+impl Round {
+    /// The first round, `r = 1`.
+    pub const FIRST: Round = Round(1);
+
+    /// Creates a round number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`; the paper's rounds start at 1.
+    #[must_use]
+    pub fn new(r: u32) -> Self {
+        assert!(r >= 1, "rounds are 1-based");
+        Round(r)
+    }
+
+    /// The round number.
+    #[must_use]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Zero-based index of this round (round 1 has index 0), convenient for
+    /// indexing per-round storage.
+    #[must_use]
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// The following round.
+    #[must_use]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrips_index() {
+        for i in [0usize, 1, 7, 127] {
+            assert_eq!(ProcessId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_PROCESSES")]
+    fn process_id_rejects_overflow() {
+        let _ = ProcessId::new(MAX_PROCESSES);
+    }
+
+    #[test]
+    fn process_ids_order_by_index() {
+        assert!(ProcessId::new(0) < ProcessId::new(1));
+        assert!(ProcessId::new(5) > ProcessId::new(4));
+    }
+
+    #[test]
+    fn system_size_bounds() {
+        assert!(SystemSize::new(0).is_err());
+        assert!(SystemSize::new(1).is_ok());
+        assert!(SystemSize::new(MAX_PROCESSES).is_ok());
+        assert!(SystemSize::new(MAX_PROCESSES + 1).is_err());
+    }
+
+    #[test]
+    fn system_size_enumerates_all_processes() {
+        let n = SystemSize::new(4).unwrap();
+        let ids: Vec<usize> = n.processes().map(ProcessId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert!(n.contains(ProcessId::new(3)));
+        assert!(!n.contains(ProcessId::new(4)));
+    }
+
+    #[test]
+    fn invalid_size_error_displays_bounds() {
+        let err = SystemSize::new(0).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("invalid system size 0"));
+    }
+
+    #[test]
+    fn rounds_start_at_one() {
+        assert_eq!(Round::FIRST.get(), 1);
+        assert_eq!(Round::FIRST.index(), 0);
+        assert_eq!(Round::new(3).next().get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn round_zero_is_rejected() {
+        let _ = Round::new(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcessId::new(2).to_string(), "p2");
+        assert_eq!(Round::new(7).to_string(), "7");
+        assert_eq!(format!("{:?}", Round::new(7)), "r7");
+        assert_eq!(SystemSize::new(9).unwrap().to_string(), "9");
+    }
+}

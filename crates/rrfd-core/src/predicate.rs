@@ -1,0 +1,448 @@
+//! Predicates over fault patterns — the heart of the RRFD framework.
+//!
+//! The paper identifies a model with a predicate `P` over the family of sets
+//! `D(i,r)`. A [`RrfdPredicate`] judges whether appending one more round to a
+//! history keeps the pattern legal; every predicate in the paper is a
+//! prefix-closed safety condition on finite runs, so this per-round view is
+//! fully general for executable systems.
+//!
+//! Concrete predicates live in the `rrfd-models` crate; this module defines
+//! the trait, the universal well-formedness rule (`D(i,r) ≠ S` — "not all
+//! processes can be late"), and combinators for building compound predicates
+//! such as the crash model (eq. 1 **and** eq. 2).
+
+use crate::id::{ProcessId, Round, SystemSize};
+use crate::idset::IdSet;
+use crate::pattern::{FaultPattern, RoundFaults};
+use std::fmt;
+
+/// A predicate over fault patterns, defining one RRFD system.
+///
+/// Implementations must be *prefix-closed*: if `admits` accepts every round
+/// of a pattern in order, the pattern is legal. The engine re-checks each
+/// adversary output against the model predicate, so a buggy adversary is
+/// caught at the round it misbehaves.
+pub trait RrfdPredicate {
+    /// Human-readable name used in diagnostics, e.g. `"P1(send-omission,f=2)"`.
+    fn name(&self) -> String;
+
+    /// The system size this predicate is defined over.
+    fn system_size(&self) -> SystemSize;
+
+    /// Returns `true` when `round` may legally extend `history`.
+    ///
+    /// `history` contains the rounds *before* this one; the candidate round
+    /// is not yet part of it.
+    fn admits(&self, history: &FaultPattern, round: &RoundFaults) -> bool;
+
+    /// Checks an entire pattern round by round.
+    fn admits_pattern(&self, pattern: &FaultPattern) -> bool {
+        let mut prefix = FaultPattern::new(pattern.system_size());
+        for (_, round) in pattern.iter() {
+            if !self.admits(&prefix, round) {
+                return false;
+            }
+            prefix.push(round.clone());
+        }
+        true
+    }
+}
+
+impl<P: RrfdPredicate + ?Sized> RrfdPredicate for &P {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn system_size(&self) -> SystemSize {
+        (**self).system_size()
+    }
+    fn admits(&self, history: &FaultPattern, round: &RoundFaults) -> bool {
+        (**self).admits(history, round)
+    }
+}
+
+impl<P: RrfdPredicate + ?Sized> RrfdPredicate for Box<P> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn system_size(&self) -> SystemSize {
+        (**self).system_size()
+    }
+    fn admits(&self, history: &FaultPattern, round: &RoundFaults) -> bool {
+        (**self).admits(history, round)
+    }
+}
+
+/// The universal well-formedness rule of the framework: for every process,
+/// `D(i,r) ≠ S`. "If one interprets `D(i,r)` as a set of late processes, not
+/// all processes can be late."
+///
+/// Returns the first offending process, or `None` if the round is well
+/// formed.
+#[must_use]
+pub fn ill_formed_process(round: &RoundFaults) -> Option<ProcessId> {
+    let universe = IdSet::universe(round.system_size());
+    round
+        .iter()
+        .find(|&(_, d)| d == universe)
+        .map(|(i, _)| i)
+}
+
+/// The trivially-true predicate: any well-formed pattern is admitted.
+///
+/// Useful as the "weakest possible" bound in submodel experiments and as the
+/// model argument when a caller only wants the engine's well-formedness
+/// checking.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPattern {
+    n: SystemSize,
+}
+
+impl AnyPattern {
+    /// Creates the trivial predicate for a system of `n` processes.
+    #[must_use]
+    pub fn new(n: SystemSize) -> Self {
+        AnyPattern { n }
+    }
+}
+
+impl RrfdPredicate for AnyPattern {
+    fn name(&self) -> String {
+        "Any".to_owned()
+    }
+
+    fn system_size(&self) -> SystemSize {
+        self.n
+    }
+
+    fn admits(&self, _history: &FaultPattern, _round: &RoundFaults) -> bool {
+        true
+    }
+}
+
+/// Conjunction of two predicates: `A ∧ B`.
+///
+/// The paper's crash model is exactly `And(P1, P2)`; the snapshot model is
+/// `And(P3, containment)`. The combinator keeps each clause independently
+/// reusable.
+///
+/// # Examples
+///
+/// ```
+/// use rrfd_core::{And, AnyPattern, RrfdPredicate, SystemSize};
+/// let n = SystemSize::new(3).unwrap();
+/// let p = And::new(AnyPattern::new(n), AnyPattern::new(n));
+/// assert_eq!(p.system_size(), n);
+/// ```
+#[derive(Debug, Clone)]
+pub struct And<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: RrfdPredicate, B: RrfdPredicate> And<A, B> {
+    /// Combines two predicates over the same system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predicates disagree on the system size.
+    #[must_use]
+    pub fn new(a: A, b: B) -> Self {
+        assert_eq!(
+            a.system_size(),
+            b.system_size(),
+            "conjoined predicates must share a system size"
+        );
+        And { a, b }
+    }
+
+    /// The left clause.
+    #[must_use]
+    pub fn left(&self) -> &A {
+        &self.a
+    }
+
+    /// The right clause.
+    #[must_use]
+    pub fn right(&self) -> &B {
+        &self.b
+    }
+}
+
+impl<A: RrfdPredicate, B: RrfdPredicate> RrfdPredicate for And<A, B> {
+    fn name(&self) -> String {
+        format!("({} ∧ {})", self.a.name(), self.b.name())
+    }
+
+    fn system_size(&self) -> SystemSize {
+        self.a.system_size()
+    }
+
+    fn admits(&self, history: &FaultPattern, round: &RoundFaults) -> bool {
+        self.a.admits(history, round) && self.b.admits(history, round)
+    }
+}
+
+/// Disjunction of two predicates: `A ∨ B`.
+///
+/// The join of the model lattice: a system that may behave like either A
+/// or B (the adversary picks, round by round). Useful when asking for the
+/// *weakest* RRFD equivalent to a system (§2's question 2): candidate
+/// weakest models are joins of known ones.
+///
+/// Note that `Or` is evaluated round-wise; a pattern may interleave
+/// A-rounds and B-rounds.
+#[derive(Debug, Clone)]
+pub struct Or<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: RrfdPredicate, B: RrfdPredicate> Or<A, B> {
+    /// Combines two predicates over the same system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predicates disagree on the system size.
+    #[must_use]
+    pub fn new(a: A, b: B) -> Self {
+        assert_eq!(
+            a.system_size(),
+            b.system_size(),
+            "disjoined predicates must share a system size"
+        );
+        Or { a, b }
+    }
+}
+
+impl<A: RrfdPredicate, B: RrfdPredicate> RrfdPredicate for Or<A, B> {
+    fn name(&self) -> String {
+        format!("({} ∨ {})", self.a.name(), self.b.name())
+    }
+
+    fn system_size(&self) -> SystemSize {
+        self.a.system_size()
+    }
+
+    fn admits(&self, history: &FaultPattern, round: &RoundFaults) -> bool {
+        self.a.admits(history, round) || self.b.admits(history, round)
+    }
+}
+
+/// Violation raised when a fault pattern breaks a predicate or the universal
+/// well-formedness rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternViolation {
+    /// Some `D(i,r)` equals the full universe.
+    IllFormed {
+        /// The offending process.
+        process: ProcessId,
+        /// The round at which it happened.
+        round: Round,
+    },
+    /// The model predicate rejected the round.
+    PredicateRejected {
+        /// Name of the predicate that rejected.
+        predicate: String,
+        /// The round at which it happened.
+        round: Round,
+    },
+}
+
+impl fmt::Display for PatternViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternViolation::IllFormed { process, round } => write!(
+                f,
+                "ill-formed round {round}: D({process},{round}) equals the whole universe"
+            ),
+            PatternViolation::PredicateRejected { predicate, round } => {
+                write!(f, "predicate {predicate} rejected round {round}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternViolation {}
+
+/// Validates one candidate round: well-formedness first, then the model
+/// predicate. Returns the violation, if any.
+///
+/// # Errors
+///
+/// Returns [`PatternViolation::IllFormed`] when some `D(i,r)` covers the
+/// whole universe, and [`PatternViolation::PredicateRejected`] when the
+/// model predicate refuses the extension.
+pub fn validate_round<P: RrfdPredicate + ?Sized>(
+    predicate: &P,
+    history: &FaultPattern,
+    round: &RoundFaults,
+) -> Result<(), PatternViolation> {
+    let round_no = Round::new(history.rounds() as u32 + 1);
+    if let Some(process) = ill_formed_process(round) {
+        return Err(PatternViolation::IllFormed {
+            process,
+            round: round_no,
+        });
+    }
+    if !predicate.admits(history, round) {
+        return Err(PatternViolation::PredicateRejected {
+            predicate: predicate.name(),
+            round: round_no,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n3() -> SystemSize {
+        SystemSize::new(3).unwrap()
+    }
+
+    /// A predicate admitting only empty suspicion sets — used to exercise
+    /// rejection paths.
+    #[derive(Debug)]
+    struct NoFaults(SystemSize);
+
+    impl RrfdPredicate for NoFaults {
+        fn name(&self) -> String {
+            "NoFaults".into()
+        }
+        fn system_size(&self) -> SystemSize {
+            self.0
+        }
+        fn admits(&self, _h: &FaultPattern, round: &RoundFaults) -> bool {
+            round.union().is_empty()
+        }
+    }
+
+    #[test]
+    fn ill_formed_detects_full_universe() {
+        let n = n3();
+        let mut rf = RoundFaults::none(n);
+        assert_eq!(ill_formed_process(&rf), None);
+        rf.set(ProcessId::new(1), IdSet::universe(n));
+        assert_eq!(ill_formed_process(&rf), Some(ProcessId::new(1)));
+    }
+
+    #[test]
+    fn any_pattern_admits_everything_well_formed() {
+        let n = n3();
+        let p = AnyPattern::new(n);
+        let h = FaultPattern::new(n);
+        let mut rf = RoundFaults::none(n);
+        rf.set(ProcessId::new(0), IdSet::singleton(ProcessId::new(1)));
+        assert!(p.admits(&h, &rf));
+        assert!(validate_round(&p, &h, &rf).is_ok());
+    }
+
+    #[test]
+    fn validate_flags_ill_formed_before_predicate() {
+        let n = n3();
+        let p = NoFaults(n);
+        let h = FaultPattern::new(n);
+        let mut rf = RoundFaults::none(n);
+        rf.set(ProcessId::new(2), IdSet::universe(n));
+        match validate_round(&p, &h, &rf) {
+            Err(PatternViolation::IllFormed { process, round }) => {
+                assert_eq!(process, ProcessId::new(2));
+                assert_eq!(round, Round::new(1));
+            }
+            other => panic!("expected IllFormed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_flags_predicate_rejection_with_round_number() {
+        let n = n3();
+        let p = NoFaults(n);
+        let mut h = FaultPattern::new(n);
+        h.push(RoundFaults::none(n));
+        let mut rf = RoundFaults::none(n);
+        rf.set(ProcessId::new(0), IdSet::singleton(ProcessId::new(1)));
+        match validate_round(&p, &h, &rf) {
+            Err(PatternViolation::PredicateRejected { predicate, round }) => {
+                assert_eq!(predicate, "NoFaults");
+                assert_eq!(round, Round::new(2));
+            }
+            other => panic!("expected PredicateRejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_combines_clauses() {
+        let n = n3();
+        let p = And::new(AnyPattern::new(n), NoFaults(n));
+        let h = FaultPattern::new(n);
+        assert!(p.admits(&h, &RoundFaults::none(n)));
+        let mut rf = RoundFaults::none(n);
+        rf.set(ProcessId::new(0), IdSet::singleton(ProcessId::new(1)));
+        assert!(!p.admits(&h, &rf));
+        assert!(p.name().contains("Any"));
+        assert!(p.name().contains("NoFaults"));
+    }
+
+    #[test]
+    fn or_is_the_lattice_join() {
+        let n = n3();
+        let p = Or::new(NoFaults(n), AnyPattern::new(n));
+        let h = FaultPattern::new(n);
+        let mut rf = RoundFaults::none(n);
+        rf.set(ProcessId::new(0), IdSet::singleton(ProcessId::new(1)));
+        // AnyPattern carries the join.
+        assert!(p.admits(&h, &rf));
+        assert!(p.name().contains('∨'));
+
+        // Both sides reject ⇒ the join rejects.
+        let q = Or::new(NoFaults(n), NoFaults(n));
+        assert!(!q.admits(&h, &rf));
+        assert!(q.admits(&h, &RoundFaults::none(n)));
+    }
+
+    #[test]
+    fn and_refines_both_or_arms() {
+        // A ∧ B ⇒ A ∨ B on every round: spot-check the lattice shape.
+        let n = n3();
+        let conj = And::new(AnyPattern::new(n), NoFaults(n));
+        let disj = Or::new(AnyPattern::new(n), NoFaults(n));
+        let h = FaultPattern::new(n);
+        for sets in [
+            vec![IdSet::empty(); 3],
+            vec![
+                IdSet::singleton(ProcessId::new(1)),
+                IdSet::empty(),
+                IdSet::empty(),
+            ],
+        ] {
+            let rf = RoundFaults::from_sets(n, sets);
+            if conj.admits(&h, &rf) {
+                assert!(disj.admits(&h, &rf));
+            }
+        }
+    }
+
+    #[test]
+    fn admits_pattern_checks_prefixes() {
+        let n = n3();
+        let p = NoFaults(n);
+        let mut pat = FaultPattern::new(n);
+        pat.push(RoundFaults::none(n));
+        assert!(p.admits_pattern(&pat));
+        let mut bad = RoundFaults::none(n);
+        bad.set(ProcessId::new(1), IdSet::singleton(ProcessId::new(0)));
+        pat.push(bad);
+        assert!(!p.admits_pattern(&pat));
+    }
+
+    #[test]
+    fn trait_objects_and_boxes_delegate() {
+        let n = n3();
+        let boxed: Box<dyn RrfdPredicate> = Box::new(AnyPattern::new(n));
+        assert_eq!(boxed.system_size(), n);
+        assert!(boxed.admits(&FaultPattern::new(n), &RoundFaults::none(n)));
+        let by_ref: &dyn RrfdPredicate = &AnyPattern::new(n);
+        assert_eq!(by_ref.name(), "Any");
+    }
+}

@@ -1,0 +1,429 @@
+//! Decision-task specifications and mechanical output checking.
+//!
+//! "An RRFD system satisfying predicate P solves a task T if … processes
+//! commit to outputs that satisfy T's input/output requirements." This
+//! module captures the tasks the paper studies — consensus and k-set
+//! agreement (§3) — as checkable specifications, plus the adopt-commit
+//! relation used by the crash-fault simulation of §4.2.
+
+use crate::id::ProcessId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A value processes propose and decide. All of the paper's tasks are
+/// value-agnostic, so a fixed `u64` keeps the harness simple while staying
+/// general (callers can index arbitrary payloads by `u64`).
+pub type Value = u64;
+
+/// Violation of a task's input/output relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskViolation {
+    /// A process decided a value that was nobody's input.
+    Validity {
+        /// The deciding process.
+        process: ProcessId,
+        /// The offending decision.
+        decided: Value,
+    },
+    /// More distinct values were decided than the task allows.
+    Agreement {
+        /// Distinct decided values found.
+        found: usize,
+        /// Maximum the task allows.
+        allowed: usize,
+    },
+    /// A process that was required to decide did not.
+    Termination {
+        /// The non-deciding process.
+        process: ProcessId,
+    },
+}
+
+impl fmt::Display for TaskViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskViolation::Validity { process, decided } => {
+                write!(f, "{process} decided {decided}, which is not any input")
+            }
+            TaskViolation::Agreement { found, allowed } => {
+                write!(f, "{found} distinct values decided, at most {allowed} allowed")
+            }
+            TaskViolation::Termination { process } => {
+                write!(f, "{process} failed to decide")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskViolation {}
+
+/// k-set agreement (§3): each process must decide some process's input, and
+/// at most `k` distinct values may be decided system-wide. `k = 1` is
+/// consensus.
+///
+/// # Examples
+///
+/// ```
+/// use rrfd_core::task::KSetAgreement;
+///
+/// let task = KSetAgreement::new(2);
+/// let inputs = [10, 20, 30];
+/// assert!(task.check(&inputs, &[Some(10), Some(20), Some(10)]).is_ok());
+/// assert!(task.check(&inputs, &[Some(10), Some(20), Some(30)]).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KSetAgreement {
+    k: usize,
+}
+
+impl KSetAgreement {
+    /// The k-set agreement task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k-set agreement requires k ≥ 1");
+        KSetAgreement { k }
+    }
+
+    /// The consensus task (`k = 1`).
+    #[must_use]
+    pub fn consensus() -> Self {
+        KSetAgreement { k: 1 }
+    }
+
+    /// The agreement parameter `k`.
+    #[must_use]
+    pub fn k(self) -> usize {
+        self.k
+    }
+
+    /// Checks validity and k-agreement over the deciders. Processes with
+    /// `None` outputs are ignored here; use [`KSetAgreement::check_terminating`]
+    /// when every process is required to decide.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TaskViolation`] found: a validity breach, then an
+    /// agreement breach.
+    pub fn check(
+        self,
+        inputs: &[Value],
+        outputs: &[Option<Value>],
+    ) -> Result<(), TaskViolation> {
+        let input_set: BTreeSet<Value> = inputs.iter().copied().collect();
+        let mut decided = BTreeSet::new();
+        for (i, out) in outputs.iter().enumerate() {
+            if let Some(v) = out {
+                if !input_set.contains(v) {
+                    return Err(TaskViolation::Validity {
+                        process: ProcessId::new(i),
+                        decided: *v,
+                    });
+                }
+                decided.insert(*v);
+            }
+        }
+        if decided.len() > self.k {
+            return Err(TaskViolation::Agreement {
+                found: decided.len(),
+                allowed: self.k,
+            });
+        }
+        Ok(())
+    }
+
+    /// Like [`KSetAgreement::check`], but additionally requires every
+    /// process to have decided.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskViolation::Termination`] for the first non-decider, or
+    /// the violations of [`KSetAgreement::check`].
+    pub fn check_terminating(
+        self,
+        inputs: &[Value],
+        outputs: &[Option<Value>],
+    ) -> Result<(), TaskViolation> {
+        for (i, out) in outputs.iter().enumerate() {
+            if out.is_none() {
+                return Err(TaskViolation::Termination {
+                    process: ProcessId::new(i),
+                });
+            }
+        }
+        self.check(inputs, outputs)
+    }
+}
+
+/// The output grade of the adopt-commit task (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Grade {
+    /// The process adopts the value but knows agreement was not certain.
+    Adopt,
+    /// The process commits: everyone else adopted or committed this value.
+    Commit,
+}
+
+/// An adopt-commit decision: a grade and a value.
+pub type AdoptCommitOutput = (Grade, Value);
+
+/// The adopt-commit specification of §4.2:
+///
+/// 1. *Convergence*: if all inputs equal `v`, every process commits `v`.
+/// 2. *Agreement*: if any process commits `v`, every process commits or
+///    adopts `v` (in particular no other value is output at all).
+/// 3. *Validity*: every output value is some process's input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdoptCommitSpec;
+
+/// Violation of the adopt-commit relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdoptCommitViolation {
+    /// All inputs were equal yet some process failed to commit that value.
+    Convergence {
+        /// The offending process.
+        process: ProcessId,
+    },
+    /// Some process committed `v` while another output a different value.
+    Agreement {
+        /// The committed value.
+        committed: Value,
+        /// A process that output something else.
+        process: ProcessId,
+    },
+    /// An output value was nobody's input.
+    Validity {
+        /// The offending process.
+        process: ProcessId,
+        /// The non-input value.
+        value: Value,
+    },
+    /// A process produced no output.
+    Termination {
+        /// The non-deciding process.
+        process: ProcessId,
+    },
+}
+
+impl fmt::Display for AdoptCommitViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdoptCommitViolation::Convergence { process } => {
+                write!(f, "unanimous inputs but {process} did not commit them")
+            }
+            AdoptCommitViolation::Agreement { committed, process } => write!(
+                f,
+                "{committed} was committed but {process} output a different value"
+            ),
+            AdoptCommitViolation::Validity { process, value } => {
+                write!(f, "{process} output {value}, which is not any input")
+            }
+            AdoptCommitViolation::Termination { process } => {
+                write!(f, "{process} produced no adopt-commit output")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdoptCommitViolation {}
+
+impl AdoptCommitSpec {
+    /// Checks the adopt-commit relation over full outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AdoptCommitViolation`] found, in the order
+    /// termination, validity, convergence, agreement.
+    pub fn check(
+        self,
+        inputs: &[Value],
+        outputs: &[Option<AdoptCommitOutput>],
+    ) -> Result<(), AdoptCommitViolation> {
+        for (i, out) in outputs.iter().enumerate() {
+            if out.is_none() {
+                return Err(AdoptCommitViolation::Termination {
+                    process: ProcessId::new(i),
+                });
+            }
+        }
+        let outs: Vec<AdoptCommitOutput> =
+            outputs.iter().map(|o| o.expect("checked above")).collect();
+
+        let input_set: BTreeSet<Value> = inputs.iter().copied().collect();
+        for (i, (_, v)) in outs.iter().enumerate() {
+            if !input_set.contains(v) {
+                return Err(AdoptCommitViolation::Validity {
+                    process: ProcessId::new(i),
+                    value: *v,
+                });
+            }
+        }
+
+        if input_set.len() == 1 {
+            let v = *input_set.iter().next().expect("non-empty inputs");
+            for (i, out) in outs.iter().enumerate() {
+                if *out != (Grade::Commit, v) {
+                    return Err(AdoptCommitViolation::Convergence {
+                        process: ProcessId::new(i),
+                    });
+                }
+            }
+        }
+
+        for &(grade, v) in &outs {
+            if grade == Grade::Commit {
+                for (j, &(_, w)) in outs.iter().enumerate() {
+                    if w != v {
+                        return Err(AdoptCommitViolation::Agreement {
+                            committed: v,
+                            process: ProcessId::new(j),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consensus_is_one_set_agreement() {
+        let task = KSetAgreement::consensus();
+        assert_eq!(task.k(), 1);
+        let inputs = [1, 2];
+        assert!(task.check(&inputs, &[Some(1), Some(1)]).is_ok());
+        assert_eq!(
+            task.check(&inputs, &[Some(1), Some(2)]),
+            Err(TaskViolation::Agreement {
+                found: 2,
+                allowed: 1
+            })
+        );
+    }
+
+    #[test]
+    fn validity_is_checked_before_agreement() {
+        let task = KSetAgreement::new(2);
+        let inputs = [1, 2, 3];
+        assert_eq!(
+            task.check(&inputs, &[Some(9), Some(1), Some(2)]),
+            Err(TaskViolation::Validity {
+                process: ProcessId::new(0),
+                decided: 9
+            })
+        );
+    }
+
+    #[test]
+    fn non_deciders_are_tolerated_by_check_but_not_terminating() {
+        let task = KSetAgreement::new(1);
+        let inputs = [4, 5];
+        assert!(task.check(&inputs, &[Some(4), None]).is_ok());
+        assert_eq!(
+            task.check_terminating(&inputs, &[Some(4), None]),
+            Err(TaskViolation::Termination {
+                process: ProcessId::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn k_bound_is_tight() {
+        let task = KSetAgreement::new(3);
+        let inputs = [1, 2, 3, 4];
+        assert!(task
+            .check(&inputs, &[Some(1), Some(2), Some(3), Some(3)])
+            .is_ok());
+        assert!(task
+            .check(&inputs, &[Some(1), Some(2), Some(3), Some(4)])
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_is_rejected() {
+        let _ = KSetAgreement::new(0);
+    }
+
+    #[test]
+    fn adopt_commit_convergence() {
+        let spec = AdoptCommitSpec;
+        let inputs = [7, 7, 7];
+        let ok = vec![Some((Grade::Commit, 7)); 3];
+        assert!(spec.check(&inputs, &ok).is_ok());
+        let bad = vec![
+            Some((Grade::Commit, 7)),
+            Some((Grade::Adopt, 7)),
+            Some((Grade::Commit, 7)),
+        ];
+        assert_eq!(
+            spec.check(&inputs, &bad),
+            Err(AdoptCommitViolation::Convergence {
+                process: ProcessId::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn adopt_commit_agreement() {
+        let spec = AdoptCommitSpec;
+        let inputs = [1, 2];
+        let ok = vec![Some((Grade::Commit, 1)), Some((Grade::Adopt, 1))];
+        assert!(spec.check(&inputs, &ok).is_ok());
+        let bad = vec![Some((Grade::Commit, 1)), Some((Grade::Adopt, 2))];
+        assert_eq!(
+            spec.check(&inputs, &bad),
+            Err(AdoptCommitViolation::Agreement {
+                committed: 1,
+                process: ProcessId::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn adopt_commit_mixed_adopts_without_commit_are_fine() {
+        let spec = AdoptCommitSpec;
+        let inputs = [1, 2];
+        let outs = vec![Some((Grade::Adopt, 1)), Some((Grade::Adopt, 2))];
+        assert!(spec.check(&inputs, &outs).is_ok());
+    }
+
+    #[test]
+    fn adopt_commit_validity_and_termination() {
+        let spec = AdoptCommitSpec;
+        let inputs = [1, 2];
+        assert_eq!(
+            spec.check(&inputs, &[Some((Grade::Adopt, 3)), Some((Grade::Adopt, 1))]),
+            Err(AdoptCommitViolation::Validity {
+                process: ProcessId::new(0),
+                value: 3
+            })
+        );
+        assert_eq!(
+            spec.check(&inputs, &[None, Some((Grade::Adopt, 1))]),
+            Err(AdoptCommitViolation::Termination {
+                process: ProcessId::new(0)
+            })
+        );
+    }
+
+    #[test]
+    fn violations_display_cleanly() {
+        let v = TaskViolation::Agreement {
+            found: 3,
+            allowed: 2,
+        };
+        assert!(v.to_string().contains("3 distinct values"));
+        let a = AdoptCommitViolation::Termination {
+            process: ProcessId::new(1),
+        };
+        assert!(a.to_string().contains("p1"));
+    }
+}

@@ -1,0 +1,28 @@
+//! The model zoo of the RRFD paper: predicates for every system of §2, §3
+//! and §5, adversaries that drive them, and machinery for checking submodel
+//! relations.
+//!
+//! The paper's program is to study a system by finding its RRFD
+//! counterpart: "the RRFD counterparts, being part of the same family,
+//! bring forth the commonality and the difference between the systems."
+//! Accordingly this crate is organised as:
+//!
+//! * [`predicates`] — one type per model: send-omission, crash,
+//!   asynchronous `f`-resilient, System B, SWMR (with both candidate
+//!   clauses), atomic snapshot, detector-S, the k-uncertainty detector of
+//!   Theorem 3.1, and the identical-views detector of §5.
+//! * [`adversary`] — detectors that *play* those models: seeded random
+//!   adversaries with constructive samplers, scripted detectors, the ring
+//!   pattern, and the chain-silencing lower-bound adversary.
+//! * [`submodel`] — sampled refinement checking of `P_A ⇒ P_B` claims.
+//! * [`enumerate`] — exhaustive enumeration of legal rounds for `n ≤ 4`,
+//!   enabling proofs-by-enumeration of the protocol theorems at small
+//!   sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod enumerate;
+pub mod predicates;
+pub mod submodel;

@@ -1,0 +1,39 @@
+//! The predicate zoo of Section 2 (plus §3's and §5's detectors).
+//!
+//! | Paper reference | Predicate |
+//! |-----------------|-----------|
+//! | §2 item 1, eq. 1 | [`SendOmission`] |
+//! | §2 item 2, eq. 1+2 | [`Crash`] |
+//! | §2 item 3, eq. 3 | [`AsyncResilient`] |
+//! | §2 item 3, System B | [`SystemB`] |
+//! | §2 item 4, eq. 3+4 | [`Swmr`] (clauses: [`SomeoneTrustedByAll`], [`AntiSymmetric`]) |
+//! | §2 item 5 | [`Snapshot`] |
+//! | §2 item 6 | [`DetectorS`] |
+//! | §3, Thm 3.1 | [`KUncertainty`] |
+//! | §5, eq. 5 | [`IdenticalViews`] |
+//! | §7 future work: ◊S as an RRFD | [`EventuallyStrong`] |
+//!
+//! Each predicate is a standalone [`rrfd_core::RrfdPredicate`]; compound
+//! models are built with [`rrfd_core::And`]. The submodel relations the
+//! paper states (`A` is a submodel of `B` iff `P_A ⇒ P_B`) are validated in
+//! [`crate::submodel`].
+
+mod crash;
+mod detector_s;
+mod eventually_strong;
+mod omission;
+mod resilience;
+mod snapshot;
+mod swmr;
+mod system_b;
+mod uncertainty;
+
+pub use crash::Crash;
+pub use detector_s::DetectorS;
+pub use eventually_strong::EventuallyStrong;
+pub use omission::SendOmission;
+pub use resilience::AsyncResilient;
+pub use snapshot::Snapshot;
+pub use swmr::{AntiSymmetric, SomeoneTrustedByAll, Swmr};
+pub use system_b::SystemB;
+pub use uncertainty::{IdenticalViews, KUncertainty};

@@ -1,0 +1,16 @@
+//! The k-set agreement algorithms of §3 and §4.
+//!
+//! * [`one_round_kset`] / [`OneRoundKSet`] — Theorem 3.1's one-round
+//!   algorithm under the k-uncertainty detector.
+//! * [`SnapshotKSet`] — Corollary 3.2: k-set agreement on snapshot shared
+//!   memory with `k − 1` crashes.
+//! * [`FloodMin`] — the `⌊f/k⌋ + 1`-round synchronous algorithm matching
+//!   the Corollary 4.2/4.4 lower bound.
+
+mod flood_set;
+mod one_round;
+mod snapshot_kset;
+
+pub use flood_set::FloodMin;
+pub use one_round::{one_round_kset, OneRoundKSet};
+pub use snapshot_kset::SnapshotKSet;

@@ -1,0 +1,33 @@
+//! The algorithms, simulations and reductions of the RRFD paper.
+//!
+//! | Paper result | Module |
+//! |--------------|--------|
+//! | Theorem 3.1 (one-round k-set agreement) | [`kset`] |
+//! | Corollary 3.2 (k-set agreement, `k − 1` crashes) | [`kset`] |
+//! | Theorem 3.3 (detector from a k-set-consensus object) | [`detector_from_kset`] |
+//! | §4.2 adopt-commit | [`adopt_commit`] |
+//! | Theorem 4.1 (omission-round simulation) | [`sync_sim::omission`] |
+//! | Theorem 4.3 (crash-round simulation) | [`sync_sim::crash`] |
+//! | Corollaries 4.2/4.4 (`⌊f/k⌋ + 1` bound, both arms) | [`kset`] + `rrfd_models::adversary::SilencingCrash` |
+//! | Theorem 5.1 / §5 (2-step semi-synchronous consensus) | [`semi_sync_consensus`] |
+//! | §2 item 6 (consensus under detector-S / P6) | [`s_consensus`] |
+//! | §2 item 4's substrate: shared memory from message passing (ABD \[22\]) | [`abd`] |
+//! | §2 item 5's root: one-shot immediate snapshot (\[4\]) | [`immediate_snapshot`] |
+//! | Extension: early-stopping consensus (min(f′+2, f+1) rounds) | [`early_stopping`] |
+//! | §7 future work: consensus under ◊S (quorum locking, 2f < n) | [`diamond_s_consensus`] |
+//! | §2 round-combination constructions (items 3, 4, 6) | [`equivalence`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abd;
+pub mod adopt_commit;
+pub mod immediate_snapshot;
+pub mod detector_from_kset;
+pub mod diamond_s_consensus;
+pub mod early_stopping;
+pub mod equivalence;
+pub mod kset;
+pub mod s_consensus;
+pub mod semi_sync_consensus;
+pub mod sync_sim;

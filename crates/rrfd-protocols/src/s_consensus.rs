@@ -1,0 +1,219 @@
+//! Consensus in the detector-S RRFD system (§2 item 6).
+//!
+//! The paper reduces wait-free consensus with the Chandra-Toueg strong
+//! detector S to consensus in the send-omission RRFD with `f = n − 1`,
+//! "just by predicate manipulation": the S predicate `P6` is exactly the
+//! footprint clause `|∪_{r>0} ∪_i D(i,r)| < n`. This module supplies the
+//! algorithmic payoff: a rotating-coordinator consensus protocol that is
+//! correct under `P6` *alone* — it exploits nothing but the existence of
+//! one never-suspected process.
+//!
+//! Protocol (n rounds): in round `r` the coordinator is `p_{(r−1) mod n}`;
+//! every process emits its current estimate; a process that *receives* the
+//! coordinator's round message adopts the coordinator's estimate; after
+//! round `n` everyone decides its estimate.
+//!
+//! Correctness under `P6`: some process `p*` is never suspected, so in the
+//! round where `p*` coordinates, **every** process receives and adopts
+//! `p*`'s estimate `v` — all estimates coincide from then on, and later
+//! coordinators can only re-broadcast `v`. Validity holds because
+//! estimates are always inputs; termination is the fixed `n`-round
+//! schedule.
+
+use rrfd_core::task::Value;
+use rrfd_core::{Control, Delivery, ProcessId, Round, RoundProtocol, SystemSize};
+
+/// The rotating-coordinator consensus process for detector-S systems.
+#[derive(Debug, Clone)]
+pub struct SRotatingConsensus {
+    n: SystemSize,
+    estimate: Value,
+}
+
+impl SRotatingConsensus {
+    /// Creates a process proposing `input`.
+    #[must_use]
+    pub fn new(n: SystemSize, input: Value) -> Self {
+        SRotatingConsensus { n, estimate: input }
+    }
+
+    /// The coordinator of round `r`: `p_{(r−1) mod n}`.
+    #[must_use]
+    pub fn coordinator(n: SystemSize, round: Round) -> ProcessId {
+        ProcessId::new((round.get() as usize - 1) % n.get())
+    }
+
+    /// The current estimate.
+    #[must_use]
+    pub fn estimate(&self) -> Value {
+        self.estimate
+    }
+}
+
+impl RoundProtocol for SRotatingConsensus {
+    type Msg = Value;
+    type Output = Value;
+
+    fn emit(&mut self, _round: Round) -> Value {
+        self.estimate
+    }
+
+    fn deliver(&mut self, d: Delivery<'_, Value>) -> Control<Value> {
+        let coordinator = Self::coordinator(self.n, d.round);
+        if let Some(v) = d.received[coordinator.index()] {
+            self.estimate = v;
+        }
+        if d.round.get() as usize >= self.n.get() {
+            Control::Decide(self.estimate)
+        } else {
+            Control::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrfd_core::task::KSetAgreement;
+    use rrfd_core::{Engine, FaultPattern, IdSet, RoundFaults};
+    use rrfd_models::adversary::RandomAdversary;
+    use rrfd_models::predicates::DetectorS;
+
+    fn n(v: usize) -> SystemSize {
+        SystemSize::new(v).unwrap()
+    }
+
+    fn run_consensus(
+        size: SystemSize,
+        detector: &mut dyn rrfd_core::FaultDetector,
+    ) -> Vec<Value> {
+        let inputs: Vec<Value> = (0..size.get() as u64).map(|i| 300 + i).collect();
+        let protos: Vec<_> = inputs
+            .iter()
+            .map(|&v| SRotatingConsensus::new(size, v))
+            .collect();
+        let model = DetectorS::new(size);
+        let report = Engine::new(size).run(protos, detector, &model).unwrap();
+        report
+            .outputs()
+            .into_iter()
+            .map(|o| o.expect("decides at round n"))
+            .collect()
+    }
+
+    #[test]
+    fn consensus_under_random_s_detectors() {
+        for nv in [2usize, 4, 7, 11] {
+            let size = n(nv);
+            let inputs: Vec<Value> = (0..nv as u64).map(|i| 300 + i).collect();
+            let task = KSetAgreement::consensus();
+            for seed in 0..25u64 {
+                let mut adv = RandomAdversary::new(DetectorS::new(size), seed);
+                let decisions = run_consensus(size, &mut adv);
+                let outs: Vec<Option<Value>> =
+                    decisions.iter().map(|&d| Some(d)).collect();
+                task.check_terminating(&inputs, &outs)
+                    .unwrap_or_else(|v| panic!("n={nv} seed={seed}: {v}"));
+            }
+        }
+    }
+
+    #[test]
+    fn adversary_blocking_everyone_but_the_immortal_still_loses() {
+        // Worst case for the protocol: every round, everyone suspects
+        // everyone except the immortal (here p2), including all coordinators
+        // other than p2.
+        let size = n(5);
+
+        struct AllButImmortal(SystemSize);
+        impl rrfd_core::FaultDetector for AllButImmortal {
+            fn system_size(&self) -> SystemSize {
+                self.0
+            }
+            fn next_round(&mut self, _r: Round, _h: &FaultPattern) -> RoundFaults {
+                let bad =
+                    IdSet::universe(self.0) - IdSet::singleton(ProcessId::new(2));
+                RoundFaults::from_sets(self.0, vec![bad; self.0.get()])
+            }
+        }
+
+        let decisions = run_consensus(size, &mut AllButImmortal(size));
+        // Everyone must adopt p2's input in round 3 and keep it.
+        assert!(decisions.iter().all(|&d| d == 302), "{decisions:?}");
+    }
+
+    #[test]
+    fn agreement_locks_in_at_the_immortal_round() {
+        // Drive by hand: immortal p0 coordinates round 1, so everyone
+        // agrees immediately; later rounds cannot diverge even if later
+        // coordinators are heard by only some processes.
+        let size = n(4);
+
+        struct FlakyLate(SystemSize);
+        impl rrfd_core::FaultDetector for FlakyLate {
+            fn system_size(&self) -> SystemSize {
+                self.0
+            }
+            fn next_round(&mut self, r: Round, _h: &FaultPattern) -> RoundFaults {
+                let mut rf = RoundFaults::none(self.0);
+                if r.get() >= 2 {
+                    // Half the processes miss the round's coordinator.
+                    let coord = SRotatingConsensus::coordinator(self.0, r);
+                    for i in 0..2 {
+                        if ProcessId::new(i) != coord {
+                            rf.set(ProcessId::new(i), IdSet::singleton(coord));
+                        }
+                    }
+                }
+                rf
+            }
+        }
+
+        let decisions = run_consensus(size, &mut FlakyLate(size));
+        assert!(decisions.windows(2).all(|w| w[0] == w[1]), "{decisions:?}");
+        assert_eq!(decisions[0], 300, "round-1 coordinator's input wins");
+    }
+
+    #[test]
+    fn without_p6_the_protocol_can_be_broken() {
+        // Sanity for the reduction: an adversary outside P6 (suspecting
+        // every process at some point) defeats rotating adoption. The
+        // engine rejects it when run under the P6 model, demonstrating the
+        // predicate is what carries the algorithm.
+        let size = n(3);
+
+        struct RotatingBlackout(SystemSize);
+        impl rrfd_core::FaultDetector for RotatingBlackout {
+            fn system_size(&self) -> SystemSize {
+                self.0
+            }
+            fn next_round(&mut self, r: Round, _h: &FaultPattern) -> RoundFaults {
+                // Everyone misses the round's coordinator, every round.
+                let coord = SRotatingConsensus::coordinator(self.0, r);
+                let sets = self
+                    .0
+                    .processes()
+                    .map(|i| {
+                        if i == coord {
+                            IdSet::empty()
+                        } else {
+                            IdSet::singleton(coord)
+                        }
+                    })
+                    .collect();
+                RoundFaults::from_sets(self.0, sets)
+            }
+        }
+
+        let inputs: Vec<Value> = vec![1, 2, 3];
+        let protos: Vec<_> = inputs
+            .iter()
+            .map(|&v| SRotatingConsensus::new(size, v))
+            .collect();
+        let model = DetectorS::new(size);
+        let err = Engine::new(size)
+            .run(protos, &mut RotatingBlackout(size), &model)
+            .unwrap_err();
+        assert!(matches!(err, rrfd_core::EngineError::Violation(_)));
+    }
+}

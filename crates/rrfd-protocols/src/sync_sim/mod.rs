@@ -1,0 +1,12 @@
+//! §4: simulating synchronous rounds on asynchronous snapshot memory.
+//!
+//! * [`omission`] — Theorem 4.1: `⌊f/k⌋` send-omission rounds from a
+//!   k-resilient snapshot system, by predicate arithmetic.
+//! * [`crash`] — Theorem 4.3: the adopt-commit-based strengthening to
+//!   crash faults, three asynchronous rounds per simulated round.
+
+pub mod crash;
+pub mod omission;
+
+pub use crash::{run_crash_simulation, CrashSim, CrashSimOutput, CrashSimReport, SimCell};
+pub use omission::{run_as_omission, OmissionSimReport};

@@ -1,0 +1,561 @@
+//! A threaded execution harness: the paper's abstract emit/receive loop on
+//! real OS threads, with the round-by-round fault detector realised as a
+//! coordinator service.
+//!
+//! Each process runs on its own thread and speaks only to the coordinator:
+//! it emits its round message, then blocks until the coordinator answers
+//! with the round's delivery — the messages of every unsuspected peer plus
+//! the suspicion set `D(i,r)`. The coordinator gathers the `n` emissions,
+//! asks the [`FaultDetector`] for the round's suspicion sets, validates
+//! them against the model predicate (exactly like the in-process
+//! [`rrfd_core::Engine`]), and replies. The harness exists to demonstrate
+//! that RRFD systems are *executable* designs, not just proof devices —
+//! experiment E13 runs Theorem 3.1 end to end on threads.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use rrfd_core::{
+    Control, Delivery, FaultPattern, IdSet, PatternViolation, ProcessId, Round,
+    RoundProtocol, RrfdPredicate, SystemSize,
+};
+use rrfd_core::{validate_round, FaultDetector};
+use std::fmt;
+use std::thread;
+
+use crate::clock::RoundClock;
+
+/// Channel pair used between the coordinator and process threads.
+type EmissionChannel<M, O> = (Sender<Emission<M, O>>, Receiver<Emission<M, O>>);
+type ReplyChannel<M> = (Sender<CoordReply<M>>, Receiver<CoordReply<M>>);
+
+/// What a process thread sends the coordinator each round.
+struct Emission<M, O> {
+    from: ProcessId,
+    round: Round,
+    msg: M,
+    /// Decision reached while processing the *previous* round's delivery.
+    decided: Option<O>,
+}
+
+/// What the coordinator sends a process thread.
+enum CoordReply<M> {
+    Delivery {
+        round: Round,
+        received: Vec<Option<M>>,
+        suspected: IdSet,
+    },
+    Stop,
+}
+
+/// Errors from [`ThreadedEngine::run`].
+#[derive(Debug)]
+pub enum ThreadedError {
+    /// The adversary violated the model predicate (or well-formedness).
+    Violation(PatternViolation),
+    /// The protocol vector does not match the system size.
+    WrongProcessCount {
+        /// Instances supplied.
+        supplied: usize,
+        /// System size.
+        expected: usize,
+    },
+    /// The round budget elapsed before every process decided.
+    RoundLimitExceeded {
+        /// The configured limit.
+        max_rounds: u32,
+    },
+    /// A process thread disconnected unexpectedly (it panicked).
+    ProcessDied {
+        /// The dead process.
+        process: ProcessId,
+    },
+}
+
+impl fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadedError::Violation(v) => write!(f, "adversary violation: {v}"),
+            ThreadedError::WrongProcessCount { supplied, expected } => {
+                write!(f, "{supplied} protocols for a system of {expected}")
+            }
+            ThreadedError::RoundLimitExceeded { max_rounds } => {
+                write!(f, "no full decision after {max_rounds} rounds")
+            }
+            ThreadedError::ProcessDied { process } => {
+                write!(f, "thread of {process} terminated unexpectedly")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThreadedError {}
+
+impl From<PatternViolation> for ThreadedError {
+    fn from(v: PatternViolation) -> Self {
+        ThreadedError::Violation(v)
+    }
+}
+
+/// Outcome of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedReport<O> {
+    /// `decisions[i]` is `Some((value, round))` once `p_i` decided.
+    pub decisions: Vec<Option<(O, Round)>>,
+    /// The recorded fault pattern.
+    pub pattern: FaultPattern,
+    /// Rounds executed.
+    pub rounds_executed: u32,
+}
+
+impl<O: Clone> ThreadedReport<O> {
+    /// The decision values, by process.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<Option<O>> {
+        self.decisions
+            .iter()
+            .map(|d| d.as_ref().map(|(v, _)| v.clone()))
+            .collect()
+    }
+}
+
+/// The threaded engine: one OS thread per process plus the caller's thread
+/// as coordinator.
+///
+/// # Examples
+///
+/// ```
+/// use rrfd_core::{Control, Delivery, Round, RoundProtocol, SystemSize};
+/// use rrfd_models::adversary::NoFailures;
+/// use rrfd_core::AnyPattern;
+/// use rrfd_runtime::ThreadedEngine;
+///
+/// struct Once;
+/// impl RoundProtocol for Once {
+///     type Msg = u32;
+///     type Output = u32;
+///     fn emit(&mut self, _r: Round) -> u32 { 7 }
+///     fn deliver(&mut self, d: Delivery<'_, u32>) -> Control<u32> {
+///         Control::Decide(d.received.iter().flatten().sum())
+///     }
+/// }
+///
+/// let n = SystemSize::new(4).unwrap();
+/// let report = ThreadedEngine::new(n)
+///     .run(vec![Once, Once, Once, Once], &mut NoFailures::new(n), &AnyPattern::new(n))
+///     .unwrap();
+/// assert_eq!(report.outputs(), vec![Some(28); 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadedEngine {
+    n: SystemSize,
+    max_rounds: u32,
+    clock: RoundClock,
+}
+
+impl ThreadedEngine {
+    /// Creates an engine for `n` processes.
+    #[must_use]
+    pub fn new(n: SystemSize) -> Self {
+        ThreadedEngine {
+            n,
+            max_rounds: 100_000,
+            clock: RoundClock::new(),
+        }
+    }
+
+    /// Overrides the round budget.
+    #[must_use]
+    pub fn max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// A clock observers can use to watch the run's progress from other
+    /// threads.
+    #[must_use]
+    pub fn clock(&self) -> RoundClock {
+        self.clock.clone()
+    }
+
+    /// Runs the protocols on threads, coordinated by the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// See [`ThreadedError`].
+    pub fn run<P, D, Q>(
+        &self,
+        protocols: Vec<P>,
+        detector: &mut D,
+        model: &Q,
+    ) -> Result<ThreadedReport<P::Output>, ThreadedError>
+    where
+        P: RoundProtocol + Send + 'static,
+        P::Msg: Send + 'static,
+        P::Output: Send + Clone + 'static,
+        D: FaultDetector + ?Sized,
+        Q: RrfdPredicate + ?Sized,
+    {
+        let n = self.n.get();
+        if protocols.len() != n {
+            return Err(ThreadedError::WrongProcessCount {
+                supplied: protocols.len(),
+                expected: n,
+            });
+        }
+
+        let (emit_tx, emit_rx): EmissionChannel<P::Msg, P::Output> = channel::unbounded();
+
+        let mut reply_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (i, mut protocol) in protocols.into_iter().enumerate() {
+            let me = ProcessId::new(i);
+            let emit_tx = emit_tx.clone();
+            let (reply_tx, reply_rx): ReplyChannel<P::Msg> = channel::unbounded();
+            reply_txs.push(reply_tx);
+            handles.push(thread::spawn(move || {
+                let mut decided: Option<P::Output> = None;
+                let mut round = Round::FIRST;
+                loop {
+                    let msg = protocol.emit(round);
+                    if emit_tx
+                        .send(Emission {
+                            from: me,
+                            round,
+                            msg,
+                            decided: decided.take(),
+                        })
+                        .is_err()
+                    {
+                        return; // coordinator gone
+                    }
+                    match reply_rx.recv() {
+                        Ok(CoordReply::Delivery {
+                            round: r,
+                            received,
+                            suspected,
+                        }) => {
+                            debug_assert_eq!(r, round);
+                            if let Control::Decide(v) = protocol.deliver(Delivery {
+                                round: r,
+                                me,
+                                received: &received,
+                                suspected,
+                            }) {
+                                decided = Some(v);
+                            }
+                            round = round.next();
+                        }
+                        Ok(CoordReply::Stop) | Err(_) => return,
+                    }
+                }
+            }));
+        }
+        drop(emit_tx);
+
+        let result = self.coordinate::<P>(&emit_rx, &reply_txs, detector, model);
+
+        // Stop every thread (ignore send failures: thread may be gone).
+        for tx in &reply_txs {
+            let _ = tx.send(CoordReply::Stop);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.clock.finish();
+        result
+    }
+
+    fn coordinate<P>(
+        &self,
+        emit_rx: &Receiver<Emission<P::Msg, P::Output>>,
+        reply_txs: &[Sender<CoordReply<P::Msg>>],
+        detector: &mut (impl FaultDetector + ?Sized),
+        model: &(impl RrfdPredicate + ?Sized),
+    ) -> Result<ThreadedReport<P::Output>, ThreadedError>
+    where
+        P: RoundProtocol,
+        P::Output: Clone,
+    {
+        let n = self.n.get();
+        let mut decisions: Vec<Option<(P::Output, Round)>> = vec![None; n];
+        let mut pattern = FaultPattern::new(self.n);
+
+        for round_no in 1..=self.max_rounds {
+            let round = Round::new(round_no);
+
+            // Gather every process's emission for this round.
+            let mut messages: Vec<Option<P::Msg>> = (0..n).map(|_| None).collect();
+            for _ in 0..n {
+                let emission = emit_rx.recv().map_err(|_| {
+                    let dead = messages
+                        .iter()
+                        .position(Option::is_none)
+                        .map(ProcessId::new)
+                        .expect("some process is missing");
+                    ThreadedError::ProcessDied { process: dead }
+                })?;
+                debug_assert_eq!(emission.round, round, "lock-step protocol violated");
+                if let Some(v) = emission.decided {
+                    // Decision reached in the previous round's deliver.
+                    decisions[emission.from.index()]
+                        .get_or_insert((v, Round::new(round_no - 1)));
+                }
+                messages[emission.from.index()] = Some(emission.msg);
+            }
+
+            if round_no > 1 && decisions.iter().all(Option::is_some) {
+                return Ok(ThreadedReport {
+                    decisions,
+                    pattern,
+                    rounds_executed: round_no - 1,
+                });
+            }
+
+            let faults = detector.next_round(round, &pattern);
+            validate_round(model, &pattern, &faults)?;
+
+            for (i, reply_tx) in reply_txs.iter().enumerate() {
+                let me = ProcessId::new(i);
+                let suspected = faults.of(me);
+                let received: Vec<Option<P::Msg>> = (0..n)
+                    .map(|j| {
+                        if suspected.contains(ProcessId::new(j)) {
+                            None
+                        } else {
+                            messages[j].clone()
+                        }
+                    })
+                    .collect();
+                if reply_tx
+                    .send(CoordReply::Delivery {
+                        round,
+                        received,
+                        suspected,
+                    })
+                    .is_err()
+                {
+                    return Err(ThreadedError::ProcessDied { process: me });
+                }
+            }
+
+            pattern.push(faults);
+            self.clock.advance(round_no);
+        }
+
+        // Decisions piggyback on the *next* round's emission, so decisions
+        // made exactly at `max_rounds` arrive after the loop: gather one
+        // final batch before giving up (matching the in-process Engine's
+        // semantics).
+        let mut gathered = 0usize;
+        while gathered < n {
+            // Every live thread already sent its next emission before
+            // blocking on the reply; the timeout only fires if a thread
+            // died, in which case the round-limit error below stands.
+            let Ok(emission) =
+                emit_rx.recv_timeout(std::time::Duration::from_secs(5))
+            else {
+                break;
+            };
+            gathered += 1;
+            if let Some(v) = emission.decided {
+                decisions[emission.from.index()]
+                    .get_or_insert((v, Round::new(self.max_rounds)));
+            }
+        }
+        if decisions.iter().all(Option::is_some) {
+            return Ok(ThreadedReport {
+                decisions,
+                pattern,
+                rounds_executed: self.max_rounds,
+            });
+        }
+
+        Err(ThreadedError::RoundLimitExceeded {
+            max_rounds: self.max_rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrfd_core::AnyPattern;
+    use rrfd_models::adversary::{NoFailures, RandomAdversary};
+    use rrfd_models::predicates::KUncertainty;
+
+    fn n(v: usize) -> SystemSize {
+        SystemSize::new(v).unwrap()
+    }
+
+    /// Decides the sum of received values after `rounds` rounds.
+    struct SumAfter {
+        rounds: u32,
+        acc: u64,
+        me: u64,
+    }
+
+    impl RoundProtocol for SumAfter {
+        type Msg = u64;
+        type Output = u64;
+        fn emit(&mut self, _r: Round) -> u64 {
+            self.me
+        }
+        fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
+            self.acc += d.received.iter().flatten().sum::<u64>();
+            if d.round.get() >= self.rounds {
+                Control::Decide(self.acc)
+            } else {
+                Control::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn threads_reach_the_same_result_as_the_engine() {
+        let size = n(4);
+        let build = || {
+            (0..4)
+                .map(|i| SumAfter {
+                    rounds: 3,
+                    acc: 0,
+                    me: i as u64 + 1,
+                })
+                .collect::<Vec<_>>()
+        };
+        let threaded = ThreadedEngine::new(size)
+            .run(build(), &mut NoFailures::new(size), &AnyPattern::new(size))
+            .unwrap();
+        let inproc = rrfd_core::Engine::new(size)
+            .run(build(), &mut NoFailures::new(size), &AnyPattern::new(size))
+            .unwrap();
+        assert_eq!(threaded.outputs(), inproc.outputs());
+        assert_eq!(threaded.rounds_executed, inproc.rounds_executed);
+    }
+
+    #[test]
+    fn one_round_kset_runs_on_threads() {
+        // Theorem 3.1 end to end on real threads (experiment E13's core).
+        struct OneRound {
+            input: u64,
+        }
+        impl RoundProtocol for OneRound {
+            type Msg = u64;
+            type Output = u64;
+            fn emit(&mut self, _r: Round) -> u64 {
+                self.input
+            }
+            fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
+                let winner = d.heard_from().min().expect("someone was heard");
+                Control::Decide(d.received[winner.index()].expect("winner heard"))
+            }
+        }
+
+        let size = n(6);
+        let k = 2;
+        let model = KUncertainty::new(size, k);
+        for seed in 0..10u64 {
+            let protos: Vec<_> = (0..6).map(|i| OneRound { input: 100 + i }).collect();
+            let mut adv = RandomAdversary::new(model, seed);
+            let report = ThreadedEngine::new(size)
+                .run(protos, &mut adv, &model)
+                .unwrap();
+            let mut distinct: Vec<u64> =
+                report.outputs().into_iter().flatten().collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            assert!(distinct.len() <= k, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn violation_is_surfaced_and_threads_are_joined() {
+        use rrfd_core::{FaultPattern as FP, RoundFaults};
+
+        struct BadDetector(SystemSize);
+        impl FaultDetector for BadDetector {
+            fn system_size(&self) -> SystemSize {
+                self.0
+            }
+            fn next_round(&mut self, _r: Round, _h: &FP) -> RoundFaults {
+                let mut rf = RoundFaults::none(self.0);
+                rf.set(ProcessId::new(0), IdSet::universe(self.0));
+                rf
+            }
+        }
+
+        let size = n(3);
+        let protos: Vec<_> = (0..3)
+            .map(|i| SumAfter {
+                rounds: 2,
+                acc: 0,
+                me: i,
+            })
+            .collect();
+        let err = ThreadedEngine::new(size)
+            .run(protos, &mut BadDetector(size), &AnyPattern::new(size))
+            .unwrap_err();
+        assert!(matches!(err, ThreadedError::Violation(_)));
+    }
+
+    #[test]
+    fn decisions_at_the_round_limit_are_collected() {
+        // Regression: decisions piggyback on the next emission; a decision
+        // made exactly at max_rounds must still be gathered.
+        struct DecideRound1;
+        impl RoundProtocol for DecideRound1 {
+            type Msg = ();
+            type Output = u32;
+            fn emit(&mut self, _r: Round) {}
+            fn deliver(&mut self, d: Delivery<'_, ()>) -> Control<u32> {
+                Control::Decide(d.round.get())
+            }
+        }
+
+        let size = n(2);
+        let report = ThreadedEngine::new(size)
+            .max_rounds(1)
+            .run(
+                vec![DecideRound1, DecideRound1],
+                &mut NoFailures::new(size),
+                &AnyPattern::new(size),
+            )
+            .unwrap();
+        assert_eq!(report.outputs(), vec![Some(1), Some(1)]);
+        assert_eq!(report.rounds_executed, 1);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let size = n(2);
+        let protos: Vec<_> = (0..2)
+            .map(|i| SumAfter {
+                rounds: 1000,
+                acc: 0,
+                me: i,
+            })
+            .collect();
+        let err = ThreadedEngine::new(size)
+            .max_rounds(4)
+            .run(protos, &mut NoFailures::new(size), &AnyPattern::new(size))
+            .unwrap_err();
+        assert!(matches!(err, ThreadedError::RoundLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn clock_tracks_progress() {
+        let size = n(3);
+        let engine = ThreadedEngine::new(size);
+        let clock = engine.clock();
+        let protos: Vec<_> = (0..3)
+            .map(|i| SumAfter {
+                rounds: 5,
+                acc: 0,
+                me: i,
+            })
+            .collect();
+        let report = engine
+            .run(protos, &mut NoFailures::new(size), &AnyPattern::new(size))
+            .unwrap();
+        assert!(clock.is_finished());
+        assert!(clock.current_round() >= report.rounds_executed);
+    }
+}

@@ -1,0 +1,303 @@
+//! Exhaustive schedule exploration for the shared-memory simulator.
+//!
+//! For small systems the *entire* tree of interleavings is enumerable:
+//! [`explore_schedules`] performs a depth-first walk over every scheduler
+//! decision sequence (which runnable process steps next, crash-free),
+//! running the protocol to completion on each path and handing every
+//! outcome to a checker. This turns sampled "holds under 50 seeds" tests
+//! into genuine proofs-by-enumeration for two- and three-process
+//! instances — the adopt-commit and immediate-snapshot test-suites use it.
+
+use crate::shared_mem::{MemEvent, MemProcess, MemRunReport, MemScheduler, SharedMemSim};
+use rrfd_core::IdSet;
+
+/// A scheduler that replays a fixed choice prefix (indices into the sorted
+/// runnable set) and picks the first runnable process beyond it, recording
+/// the branching factor at every decision.
+struct ReplayScheduler<'a> {
+    prefix: &'a [usize],
+    cursor: usize,
+    branching: Vec<usize>,
+}
+
+impl MemScheduler for ReplayScheduler<'_> {
+    fn next_event(&mut self, runnable: IdSet, _step: u64) -> MemEvent {
+        let ids: Vec<_> = runnable.iter().collect();
+        self.branching.push(ids.len());
+        let choice = self.prefix.get(self.cursor).copied().unwrap_or(0);
+        self.cursor += 1;
+        MemEvent::Step(ids[choice.min(ids.len() - 1)])
+    }
+}
+
+/// Enumerates every schedule of `sim` over fresh processes from `make`,
+/// invoking `check` on each completed run. Returns the number of schedules
+/// explored.
+///
+/// The walk is exhaustive: every sequence of "which runnable process steps
+/// next" choices is visited exactly once. Use only on small instances —
+/// the tree is exponential in the total step count.
+///
+/// # Panics
+///
+/// Panics if the exploration exceeds `max_runs` schedules (a guard against
+/// accidentally exponential instances), or propagates panics from `check`.
+pub fn explore_schedules<V, P, F, G>(
+    sim: &SharedMemSim,
+    make: G,
+    mut check: F,
+    max_runs: usize,
+) -> usize
+where
+    V: Clone,
+    P: MemProcess<V>,
+    G: Fn() -> Vec<P>,
+    F: FnMut(&MemRunReport<P, V>),
+{
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut runs = 0usize;
+    loop {
+        let mut scheduler = ReplayScheduler {
+            prefix: &prefix,
+            cursor: 0,
+            branching: Vec::new(),
+        };
+        let report = sim
+            .run(make(), &mut scheduler)
+            .expect("exploration requires terminating, crash-free protocols");
+        runs += 1;
+        assert!(
+            runs <= max_runs,
+            "schedule exploration exceeded {max_runs} runs"
+        );
+        check(&report);
+
+        // Advance the prefix: find the deepest decision that can still be
+        // incremented; truncate everything after it.
+        let branching = scheduler.branching;
+        let mut full: Vec<usize> = branching
+            .iter()
+            .enumerate()
+            .map(|(i, _)| prefix.get(i).copied().unwrap_or(0))
+            .collect();
+        let Some(bump) = (0..full.len())
+            .rev()
+            .find(|&i| full[i] + 1 < branching[i])
+        else {
+            return runs;
+        };
+        full[bump] += 1;
+        full.truncate(bump + 1);
+        prefix = full;
+    }
+}
+
+/// Exhaustive exploration for the semi-synchronous simulator, including
+/// crash choices: at every decision point the walker tries stepping each
+/// live process and, while `crash_budget` allows, crashing each live
+/// process.
+pub mod semi_sync {
+    use crate::semi_sync::{
+        SemiSyncEvent, SemiSyncProcess, SemiSyncReport, SemiSyncScheduler, SemiSyncSim,
+    };
+    use rrfd_core::IdSet;
+
+    struct Replay<'a> {
+        prefix: &'a [usize],
+        cursor: usize,
+        branching: Vec<usize>,
+        crash_budget: usize,
+    }
+
+    impl Replay<'_> {
+        /// Options at a decision point: step each live process, then (if
+        /// budget remains and more than one process is live) crash each.
+        fn options(&self, live: IdSet) -> Vec<SemiSyncEvent> {
+            let mut opts: Vec<SemiSyncEvent> =
+                live.iter().map(SemiSyncEvent::Step).collect();
+            if self.crash_budget > 0 && live.len() > 1 {
+                opts.extend(live.iter().map(SemiSyncEvent::Crash));
+            }
+            opts
+        }
+    }
+
+    impl SemiSyncScheduler for Replay<'_> {
+        fn next_event(&mut self, live: IdSet, _step: u64) -> SemiSyncEvent {
+            let opts = self.options(live);
+            self.branching.push(opts.len());
+            let choice = self.prefix.get(self.cursor).copied().unwrap_or(0);
+            self.cursor += 1;
+            let event = opts[choice.min(opts.len() - 1)];
+            if let SemiSyncEvent::Crash(_) = event {
+                self.crash_budget -= 1;
+            }
+            event
+        }
+    }
+
+    /// Enumerates every semi-synchronous schedule (with up to
+    /// `max_crashes` crashes at adversarially chosen instants), checking
+    /// each completed run. Returns the number of schedules explored.
+    ///
+    /// # Panics
+    ///
+    /// Panics past `max_runs` schedules, or propagates `check` panics.
+    pub fn explore_semi_sync<P, F, G>(
+        sim: &SemiSyncSim,
+        max_crashes: usize,
+        make: G,
+        mut check: F,
+        max_runs: usize,
+    ) -> usize
+    where
+        P: SemiSyncProcess,
+        G: Fn() -> Vec<P>,
+        F: FnMut(&SemiSyncReport<P>),
+    {
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut runs = 0usize;
+        loop {
+            let mut scheduler = Replay {
+                prefix: &prefix,
+                cursor: 0,
+                branching: Vec::new(),
+                crash_budget: max_crashes,
+            };
+            let report = sim
+                .run(make(), &mut scheduler)
+                .expect("exploration requires terminating protocols");
+            runs += 1;
+            assert!(
+                runs <= max_runs,
+                "schedule exploration exceeded {max_runs} runs"
+            );
+            check(&report);
+
+            let branching = scheduler.branching;
+            let mut full: Vec<usize> = branching
+                .iter()
+                .enumerate()
+                .map(|(i, _)| prefix.get(i).copied().unwrap_or(0))
+                .collect();
+            let Some(bump) = (0..full.len())
+                .rev()
+                .find(|&i| full[i] + 1 < branching[i])
+            else {
+                return runs;
+            };
+            full[bump] += 1;
+            full.truncate(bump + 1);
+            prefix = full;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared_mem::{Action, Observation};
+    use rrfd_core::{ProcessId, SystemSize};
+
+    /// Writes once and decides what it read from the other process's cell.
+    #[derive(Debug)]
+    struct WriteRead {
+        me: ProcessId,
+    }
+
+    impl MemProcess<u64> for WriteRead {
+        type Output = Option<u64>;
+        fn step(&mut self, obs: Observation<u64>) -> Action<u64, Option<u64>> {
+            match obs {
+                Observation::Start => Action::Write {
+                    bank: 0,
+                    value: self.me.index() as u64 + 1,
+                },
+                Observation::Written => Action::Read {
+                    bank: 0,
+                    owner: ProcessId::new(1 - self.me.index()),
+                },
+                Observation::Value(v) => Action::Decide(v),
+                other => unreachable!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn enumerates_all_interleavings_of_two_three_step_processes() {
+        let n = SystemSize::new(2).unwrap();
+        let sim = SharedMemSim::new(n, 1);
+        let make = || {
+            vec![
+                WriteRead {
+                    me: ProcessId::new(0),
+                },
+                WriteRead {
+                    me: ProcessId::new(1),
+                },
+            ]
+        };
+        let mut outcomes = std::collections::BTreeSet::new();
+        let runs = explore_schedules(
+            &sim,
+            make,
+            |report| {
+                outcomes.insert((
+                    report.outputs[0].unwrap(),
+                    report.outputs[1].unwrap(),
+                ));
+            },
+            1000,
+        );
+        // Two processes, three steps each: C(6,3) = 20 interleavings.
+        assert_eq!(runs, 20);
+        // Classic register analysis: at least one process must see the
+        // other's write; both-None is unreachable.
+        assert!(!outcomes.contains(&(None, None)));
+        assert!(outcomes.contains(&(Some(2), Some(1))));
+        // One-sided misses are possible in either direction.
+        assert!(outcomes.contains(&(None, Some(1))));
+        assert!(outcomes.contains(&(Some(2), None)));
+        assert_eq!(outcomes.len(), 3);
+    }
+
+    #[test]
+    fn single_process_has_one_schedule() {
+        let n = SystemSize::new(1).unwrap();
+        let sim = SharedMemSim::new(n, 1);
+
+        #[derive(Debug)]
+        struct Solo;
+        impl MemProcess<u64> for Solo {
+            type Output = ();
+            fn step(&mut self, obs: Observation<u64>) -> Action<u64, ()> {
+                match obs {
+                    Observation::Start => Action::Write { bank: 0, value: 1 },
+                    Observation::Written => Action::Decide(()),
+                    other => unreachable!("{other:?}"),
+                }
+            }
+        }
+
+        let runs = explore_schedules(&sim, || vec![Solo], |_| {}, 10);
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded 5 runs")]
+    fn run_guard_fires() {
+        let n = SystemSize::new(2).unwrap();
+        let sim = SharedMemSim::new(n, 1);
+        let make = || {
+            vec![
+                WriteRead {
+                    me: ProcessId::new(0),
+                },
+                WriteRead {
+                    me: ProcessId::new(1),
+                },
+            ]
+        };
+        let _ = explore_schedules(&sim, make, |_| {}, 5);
+    }
+}

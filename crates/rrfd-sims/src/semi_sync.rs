@@ -1,0 +1,448 @@
+//! The semi-synchronous model of Dolev, Dwork and Stockmeyer studied in §5.
+//!
+//! Model properties (paper's list, with the substitution recorded in
+//! `DESIGN.md`):
+//!
+//! * processes are fully asynchronous (no relative speed bound) and may
+//!   crash;
+//! * a *step* is atomic: receive every message buffered since the last
+//!   step, then (optionally) broadcast one message;
+//! * communication is broadcast and **synchronous**: a message broadcast at
+//!   global step `t` is delivered to every process before that process
+//!   takes its next step after `t` — equivalently, a process stepping at
+//!   time `t' > t` receives it in that step.
+//!
+//! The simulator assigns each atomic step a global sequence number; the
+//! scheduler chooses who steps next and who crashes. Theorem 5.1 (2-step
+//! rounds supporting the identical-views RRFD) is implemented over this
+//! simulator in `rrfd-protocols::semi_sync_consensus` and stress-tested
+//! against random schedules.
+
+use rrfd_core::{Control, IdSet, ProcessId, SystemSize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A process in the semi-synchronous model: one atomic
+/// receive-all/broadcast step at a time.
+pub trait SemiSyncProcess {
+    /// Broadcast message type.
+    type Msg: Clone;
+    /// Decision type.
+    type Output: Clone;
+
+    /// Performs one atomic step: consumes everything buffered since the
+    /// last step, optionally broadcasts, and possibly decides. Decided
+    /// processes keep stepping (their later decisions are ignored).
+    fn step(
+        &mut self,
+        received: &[(ProcessId, Self::Msg)],
+    ) -> (Option<Self::Msg>, Control<Self::Output>);
+}
+
+/// Scheduler events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemiSyncEvent {
+    /// The given process takes the next atomic step.
+    Step(ProcessId),
+    /// The given process crashes.
+    Crash(ProcessId),
+}
+
+/// Chooses step order and crashes. Must be fair to live processes for
+/// protocols to terminate.
+///
+/// The simulator only offers *undecided*, non-crashed processes for
+/// scheduling: a decided process's remaining steps cannot affect anyone
+/// (its decision is final), so never scheduling it again is equivalent to
+/// it being arbitrarily slow — which plain asynchrony already allows.
+pub trait SemiSyncScheduler {
+    /// Picks the next event among `live` (undecided, non-crashed)
+    /// processes.
+    fn next_event(&mut self, live: IdSet, step: u64) -> SemiSyncEvent;
+}
+
+/// Errors from [`SemiSyncSim::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemiSyncError {
+    /// Step budget exhausted before all correct processes decided.
+    StepLimitExceeded {
+        /// The configured limit.
+        max_steps: u64,
+    },
+    /// The protocol vector does not match the system size.
+    WrongProcessCount {
+        /// Instances supplied.
+        supplied: usize,
+        /// System size.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for SemiSyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemiSyncError::StepLimitExceeded { max_steps } => {
+                write!(f, "no full decision after {max_steps} atomic steps")
+            }
+            SemiSyncError::WrongProcessCount { supplied, expected } => {
+                write!(f, "{supplied} processes supplied for a system of {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemiSyncError {}
+
+/// Outcome of a semi-synchronous run. Final process states are returned
+/// so callers can extract protocol-internal logs (e.g. the `D(i,r)` views
+/// of the §5 consensus algorithm).
+#[derive(Debug, Clone)]
+pub struct SemiSyncReport<P: SemiSyncProcess> {
+    /// `outputs[i]` is `Some((value, steps_taken_by_i_at_decision))` once
+    /// `p_i` decided; the per-process step count is the §5 complexity
+    /// measure ("an algorithm that runs in 2 steps").
+    pub outputs: Vec<Option<(P::Output, u64)>>,
+    /// Crashed processes.
+    pub crashed: IdSet,
+    /// Total atomic steps executed system-wide.
+    pub total_steps: u64,
+    /// Final process states.
+    pub processes: Vec<P>,
+}
+
+impl<P: SemiSyncProcess> SemiSyncReport<P> {
+    /// `true` when every non-crashed process decided.
+    #[must_use]
+    pub fn all_correct_decided(&self) -> bool {
+        self.outputs
+            .iter()
+            .enumerate()
+            .all(|(i, o)| o.is_some() || self.crashed.contains(ProcessId::new(i)))
+    }
+
+    /// The maximum per-process step count among deciders — the headline
+    /// number Theorem 5.1 bounds by 2.
+    #[must_use]
+    pub fn max_steps_to_decide(&self) -> Option<u64> {
+        self.outputs
+            .iter()
+            .filter_map(|o| o.as_ref().map(|&(_, s)| s))
+            .max()
+    }
+}
+
+/// The semi-synchronous simulator.
+#[derive(Debug, Clone)]
+pub struct SemiSyncSim {
+    n: SystemSize,
+    max_steps: u64,
+}
+
+impl SemiSyncSim {
+    /// Creates a simulator for `n` processes.
+    #[must_use]
+    pub fn new(n: SystemSize) -> Self {
+        SemiSyncSim {
+            n,
+            max_steps: 1_000_000,
+        }
+    }
+
+    /// Overrides the step budget.
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Runs until every correct process has decided.
+    ///
+    /// # Errors
+    ///
+    /// See [`SemiSyncError`].
+    pub fn run<P, S>(
+        &self,
+        mut processes: Vec<P>,
+        scheduler: &mut S,
+    ) -> Result<SemiSyncReport<P>, SemiSyncError>
+    where
+        P: SemiSyncProcess,
+        S: SemiSyncScheduler + ?Sized,
+    {
+        let n = self.n.get();
+        if processes.len() != n {
+            return Err(SemiSyncError::WrongProcessCount {
+                supplied: processes.len(),
+                expected: n,
+            });
+        }
+
+        // Per-process inbox of messages not yet consumed by a step.
+        let mut inboxes: Vec<VecDeque<(ProcessId, P::Msg)>> =
+            (0..n).map(|_| VecDeque::new()).collect();
+        let mut outputs: Vec<Option<(P::Output, u64)>> = (0..n).map(|_| None).collect();
+        let mut step_counts = vec![0u64; n];
+        let mut crashed = IdSet::empty();
+        let mut total_steps = 0u64;
+        let mut events = 0u64;
+        let event_limit = self.max_steps.saturating_mul(4).saturating_add(1024);
+
+        loop {
+            let done = (0..n)
+                .all(|i| outputs[i].is_some() || crashed.contains(ProcessId::new(i)));
+            if done {
+                return Ok(SemiSyncReport {
+                    outputs,
+                    crashed,
+                    total_steps,
+                    processes,
+                });
+            }
+            if total_steps >= self.max_steps || events >= event_limit {
+                return Err(SemiSyncError::StepLimitExceeded {
+                    max_steps: self.max_steps,
+                });
+            }
+            events += 1;
+
+            let live: IdSet = (0..n)
+                .map(ProcessId::new)
+                .filter(|&p| !crashed.contains(p) && outputs[p.index()].is_none())
+                .collect();
+
+            match scheduler.next_event(live, total_steps) {
+                SemiSyncEvent::Crash(p) => {
+                    if live.contains(p) {
+                        crashed.insert(p);
+                    }
+                }
+                SemiSyncEvent::Step(p) => {
+                    if !live.contains(p) {
+                        continue;
+                    }
+                    total_steps += 1;
+                    step_counts[p.index()] += 1;
+                    let received: Vec<(ProcessId, P::Msg)> =
+                        inboxes[p.index()].drain(..).collect();
+                    let (broadcast, verdict) = processes[p.index()].step(&received);
+                    if let Some(msg) = broadcast {
+                        // Synchronous communication: buffered everywhere at
+                        // once; consumed at each recipient's next step.
+                        for inbox in &mut inboxes {
+                            inbox.push_back((p, msg.clone()));
+                        }
+                    }
+                    if let Control::Decide(v) = verdict {
+                        let count = step_counts[p.index()];
+                        outputs[p.index()].get_or_insert((v, count));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Round-robin fair scheduler without crashes.
+#[derive(Debug, Clone, Default)]
+pub struct FairSemiSync {
+    cursor: usize,
+}
+
+impl FairSemiSync {
+    /// Creates the scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        FairSemiSync { cursor: 0 }
+    }
+}
+
+impl SemiSyncScheduler for FairSemiSync {
+    fn next_event(&mut self, live: IdSet, _step: u64) -> SemiSyncEvent {
+        let ids: Vec<ProcessId> = live.iter().collect();
+        let pick = ids
+            .iter()
+            .copied()
+            .find(|p| p.index() >= self.cursor)
+            .unwrap_or(ids[0]);
+        self.cursor = pick.index() + 1;
+        SemiSyncEvent::Step(pick)
+    }
+}
+
+/// Seeded random scheduler with a crash budget. All but one process may
+/// crash (the §5 model's resilience); the budget is the caller's choice.
+#[derive(Debug, Clone)]
+pub struct RandomSemiSync {
+    rng: rand::rngs::StdRng,
+    crash_budget: usize,
+    crash_prob: f64,
+}
+
+impl RandomSemiSync {
+    /// Creates a scheduler with up to `max_crashes` crashes.
+    #[must_use]
+    pub fn new(seed: u64, max_crashes: usize) -> Self {
+        use rand::SeedableRng;
+        RandomSemiSync {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            crash_budget: max_crashes,
+            crash_prob: 0.02,
+        }
+    }
+
+    /// Overrides the per-event crash probability (default 2%).
+    #[must_use]
+    pub fn crash_prob(mut self, p: f64) -> Self {
+        self.crash_prob = p;
+        self
+    }
+}
+
+impl SemiSyncScheduler for RandomSemiSync {
+    fn next_event(&mut self, live: IdSet, _step: u64) -> SemiSyncEvent {
+        use rand::seq::IteratorRandom;
+        use rand::Rng;
+        let pick = live
+            .iter()
+            .choose(&mut self.rng)
+            .expect("simulator guarantees live is non-empty");
+        if self.crash_budget > 0 && live.len() > 1 && self.rng.gen_bool(self.crash_prob) {
+            self.crash_budget -= 1;
+            SemiSyncEvent::Crash(pick)
+        } else {
+            SemiSyncEvent::Step(pick)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: usize) -> SystemSize {
+        SystemSize::new(v).unwrap()
+    }
+
+    /// Broadcasts once; decides on the set of distinct senders seen in its
+    /// first `budget` steps.
+    #[derive(Debug)]
+    struct Listen {
+        budget: u64,
+        steps: u64,
+        heard: IdSet,
+        sent: bool,
+    }
+
+    impl Listen {
+        fn new(budget: u64) -> Self {
+            Listen {
+                budget,
+                steps: 0,
+                heard: IdSet::empty(),
+                sent: false,
+            }
+        }
+    }
+
+    impl SemiSyncProcess for Listen {
+        type Msg = ();
+        type Output = usize;
+        fn step(&mut self, received: &[(ProcessId, ())]) -> (Option<()>, Control<usize>) {
+            self.steps += 1;
+            for &(from, ()) in received {
+                self.heard.insert(from);
+            }
+            let msg = if self.sent {
+                None
+            } else {
+                self.sent = true;
+                Some(())
+            };
+            if self.steps >= self.budget {
+                (msg, Control::Decide(self.heard.len()))
+            } else {
+                (msg, Control::Continue)
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_by_their_next_step() {
+        let size = n(4);
+        // Everyone listens for 2 steps: first step broadcasts, second step
+        // must have received every first-step broadcast that happened
+        // earlier — under round-robin everyone hears everyone.
+        let procs: Vec<_> = (0..4).map(|_| Listen::new(2)).collect();
+        let report = SemiSyncSim::new(size)
+            .run(procs, &mut FairSemiSync::new())
+            .unwrap();
+        assert!(report.all_correct_decided());
+        for out in &report.outputs {
+            assert_eq!(out.as_ref().unwrap().0, 4);
+        }
+        assert_eq!(report.max_steps_to_decide(), Some(2));
+    }
+
+    #[test]
+    fn own_broadcast_is_delivered_to_self() {
+        let size = n(1);
+        let procs = vec![Listen::new(2)];
+        let report = SemiSyncSim::new(size)
+            .run(procs, &mut FairSemiSync::new())
+            .unwrap();
+        assert_eq!(report.outputs[0].as_ref().unwrap().0, 1);
+    }
+
+    #[test]
+    fn random_schedules_with_crashes_terminate() {
+        let size = n(5);
+        for seed in 0..20u64 {
+            let procs: Vec<_> = (0..5).map(|_| Listen::new(3)).collect();
+            let mut sched = RandomSemiSync::new(seed, 4);
+            let report = SemiSyncSim::new(size).run(procs, &mut sched).unwrap();
+            assert!(report.all_correct_decided(), "seed {seed}");
+            assert!(report.crashed.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn crashed_process_stops_stepping() {
+        let size = n(2);
+
+        struct CrashThenFair {
+            crashed: bool,
+            inner: FairSemiSync,
+        }
+        impl SemiSyncScheduler for CrashThenFair {
+            fn next_event(&mut self, live: IdSet, step: u64) -> SemiSyncEvent {
+                if !self.crashed {
+                    self.crashed = true;
+                    return SemiSyncEvent::Crash(ProcessId::new(1));
+                }
+                self.inner.next_event(live, step)
+            }
+        }
+
+        let procs: Vec<_> = (0..2).map(|_| Listen::new(2)).collect();
+        let mut sched = CrashThenFair {
+            crashed: false,
+            inner: FairSemiSync::new(),
+        };
+        let report = SemiSyncSim::new(size).run(procs, &mut sched).unwrap();
+        assert!(report.crashed.contains(ProcessId::new(1)));
+        assert!(report.outputs[1].is_none());
+        // p0 only ever hears itself.
+        assert_eq!(report.outputs[0].as_ref().unwrap().0, 1);
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let size = n(2);
+        let procs: Vec<_> = (0..2).map(|_| Listen::new(1_000_000)).collect();
+        let err = SemiSyncSim::new(size)
+            .max_steps(100)
+            .run(procs, &mut FairSemiSync::new())
+            .unwrap_err();
+        assert_eq!(err, SemiSyncError::StepLimitExceeded { max_steps: 100 });
+    }
+}
