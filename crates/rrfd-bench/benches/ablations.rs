@@ -13,8 +13,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rrfd_bench::{quick_criterion, SEED};
 use rrfd_core::{
-    validate_round, Engine, FaultPattern, IdSet, KnowledgeProtocol, ProcessId,
-    SystemSize,
+    validate_round, Engine, FaultPattern, IdSet, KnowledgeProtocol, ProcessId, SystemSize,
 };
 use rrfd_models::adversary::{NoFailures, RandomAdversary, SampleModel};
 use rrfd_models::predicates::{Crash, Snapshot};
@@ -63,13 +62,9 @@ fn bench_predicate_check(c: &mut Criterion) {
         };
         let history = FaultPattern::new(n);
         let round = model.sample_round(&mut rng, &history);
-        group.bench_with_input(
-            BenchmarkId::new("snapshot_validate", nv),
-            &n,
-            |b, _| {
-                b.iter(|| validate_round(&model, &history, black_box(&round)).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("snapshot_validate", nv), &n, |b, _| {
+            b.iter(|| validate_round(&model, &history, black_box(&round)).unwrap());
+        });
 
         let crash = Crash::new(n, nv / 4);
         let crash_round = {
@@ -108,9 +103,7 @@ fn bench_full_info(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("compact_floodmin", nv), &n, |b, &n| {
             b.iter(|| {
-                let protos: Vec<_> = (0..nv as u64)
-                    .map(|v| FloodMin::new(v, rounds))
-                    .collect();
+                let protos: Vec<_> = (0..nv as u64).map(|v| FloodMin::new(v, rounds)).collect();
                 Engine::new(n)
                     .run(
                         protos,
@@ -125,9 +118,7 @@ fn bench_full_info(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("compact_under_crash", nv), &n, |b, &n| {
             b.iter(|| {
                 let model = Crash::new(n, nv / 4);
-                let protos: Vec<_> = (0..nv as u64)
-                    .map(|v| FloodMin::new(v, rounds))
-                    .collect();
+                let protos: Vec<_> = (0..nv as u64).map(|v| FloodMin::new(v, rounds)).collect();
                 let mut adv = RandomAdversary::new(model, SEED);
                 Engine::new(n).run(protos, &mut adv, &model).unwrap()
             });

@@ -18,25 +18,19 @@ fn bench(c: &mut Criterion) {
             &n,
             |b, &n| {
                 b.iter(|| {
-                    let mut adv =
-                        RandomAdversary::new(AsyncResilient::new(n, f), SEED);
+                    let mut adv = RandomAdversary::new(AsyncResilient::new(n, f), SEED);
                     let sim = majority_echo_pattern(n, f, &mut adv, 4);
                     assert!(Swmr::new(n, f).admits_pattern(&sim));
                     sim
                 });
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("ring_gossip", nv),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let mut det = RingMiss::new(n);
-                    rounds_until_known_by_all(n, &mut det, 2 * nv as u32)
-                        .expect("bounded by n")
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("ring_gossip", nv), &n, |b, &n| {
+            b.iter(|| {
+                let mut det = RingMiss::new(n);
+                rounds_until_known_by_all(n, &mut det, 2 * nv as u32).expect("bounded by n")
+            });
+        });
     }
     group.finish();
 }

@@ -20,10 +20,11 @@ fn bench(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("threads", nv), &n, |b, &n| {
             b.iter(|| {
-                let protos: Vec<_> =
-                    inputs.iter().map(|&v| OneRoundKSet::new(v)).collect();
+                let protos: Vec<_> = inputs.iter().map(|&v| OneRoundKSet::new(v)).collect();
                 let mut adv = RandomAdversary::new(model, SEED);
-                ThreadedEngine::new(n).run(protos, &mut adv, &model).unwrap()
+                ThreadedEngine::new(n)
+                    .run(protos, &mut adv, &model)
+                    .unwrap()
             });
         });
 

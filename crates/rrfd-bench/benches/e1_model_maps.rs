@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rrfd_bench::{quick_criterion, SEED};
 use rrfd_core::{
-    Control, Delivery, FaultDetector, FaultPattern, IdSet, ProcessId, Round,
-    RoundProtocol, RrfdPredicate, SystemSize,
+    Control, Delivery, FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundProtocol,
+    RrfdPredicate, SystemSize,
 };
 use rrfd_models::predicates::{Crash, DetectorS, SendOmission};
 use rrfd_sims::detector_s::SAugmentedSystem;

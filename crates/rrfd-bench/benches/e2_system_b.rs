@@ -19,8 +19,7 @@ fn bench(c: &mut Criterion) {
             |b, &n| {
                 b.iter(|| {
                     let mut adv = RandomAdversary::new(SystemB::new(n, f, t), SEED);
-                    let (pattern, max_miss) =
-                        system_b_echo_pattern(n, f, t, &mut adv, 6);
+                    let (pattern, max_miss) = system_b_echo_pattern(n, f, t, &mut adv, 6);
                     assert!(max_miss <= t);
                     pattern
                 });

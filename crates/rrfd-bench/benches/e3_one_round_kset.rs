@@ -23,8 +23,7 @@ fn bench(c: &mut Criterion) {
                 &(n, k),
                 |b, &(n, k)| {
                     b.iter(|| {
-                        let mut adv =
-                            RandomAdversary::new(KUncertainty::new(n, k), SEED);
+                        let mut adv = RandomAdversary::new(KUncertainty::new(n, k), SEED);
                         one_round_kset(n, k, &inputs, &mut adv).unwrap()
                     });
                 },

@@ -17,10 +17,8 @@ fn bench(c: &mut Criterion) {
             &(n, k),
             |b, &(n, k)| {
                 b.iter(|| {
-                    let procs: Vec<_> = inputs
-                        .iter()
-                        .map(|&v| SnapshotKSet::new(n, k, v))
-                        .collect();
+                    let procs: Vec<_> =
+                        inputs.iter().map(|&v| SnapshotKSet::new(n, k, v)).collect();
                     let mut sched = RandomScheduler::new(SEED, k - 1).crash_prob(0.02);
                     SharedMemSim::new(n, 1)
                         .with_snapshots()

@@ -18,8 +18,7 @@ fn bench(c: &mut Criterion) {
             |b, &(n, k)| {
                 b.iter(|| {
                     let mut sched = RandomScheduler::new(SEED, 0);
-                    let pattern =
-                        build_detector_pattern(n, k, 4, SEED, &mut sched).unwrap();
+                    let pattern = build_detector_pattern(n, k, 4, SEED, &mut sched).unwrap();
                     assert!(KUncertainty::new(n, k).admits_pattern(&pattern));
                     pattern
                 });

@@ -20,10 +20,7 @@ fn bench(c: &mut Criterion) {
             &n,
             |b, &n| {
                 b.iter(|| {
-                    let protos: Vec<_> = inputs
-                        .iter()
-                        .map(|&v| FloodMin::new(v, budget))
-                        .collect();
+                    let protos: Vec<_> = inputs.iter().map(|&v| FloodMin::new(v, budget)).collect();
                     let mut adv = RandomAdversary::new(Snapshot::new(n, k), SEED);
                     let report = run_as_omission(n, f, k, protos, &mut adv).unwrap();
                     assert!(report.omission_certified);

@@ -22,14 +22,9 @@ fn bench(c: &mut Criterion) {
             &n,
             |b, &n| {
                 b.iter(|| {
-                    let protos: Vec<_> = inputs
-                        .iter()
-                        .map(|&v| FloodMin::new(v, budget))
-                        .collect();
+                    let protos: Vec<_> = inputs.iter().map(|&v| FloodMin::new(v, budget)).collect();
                     let mut sched = RandomScheduler::new(SEED, k).crash_prob(0.01);
-                    let report =
-                        run_crash_simulation(n, k, f, budget, protos, &mut sched)
-                            .unwrap();
+                    let report = run_crash_simulation(n, k, f, budget, protos, &mut sched).unwrap();
                     assert!(report.crash_certified);
                     report
                 });

@@ -5,15 +5,13 @@
 
 use rrfd_core::task::{Grade, KSetAgreement, Value};
 use rrfd_core::{
-    Control, Delivery, Engine, FaultDetector, FaultPattern, IdSet, ProcessId, Round,
-    RoundProtocol, RrfdPredicate, SystemSize,
+    Control, Delivery, Engine, FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundProtocol,
+    RrfdPredicate, SystemSize,
 };
-use rrfd_models::adversary::{
-    RandomAdversary, RingMiss, SilencingCrash,
-};
+use rrfd_models::adversary::{RandomAdversary, RingMiss, SilencingCrash};
 use rrfd_models::predicates::{
-    AntiSymmetric, AsyncResilient, Crash, DetectorS, IdenticalViews, KUncertainty,
-    SendOmission, Snapshot, Swmr, SystemB,
+    AntiSymmetric, AsyncResilient, Crash, DetectorS, IdenticalViews, KUncertainty, SendOmission,
+    Snapshot, Swmr, SystemB,
 };
 use rrfd_models::submodel::refines_on_samples;
 use rrfd_protocols::adopt_commit::run_adopt_commit;
@@ -135,7 +133,10 @@ fn e1() {
             certified += 1;
         }
     }
-    println!("| detector-S system (n=8) | {SEEDS} | {} | {certified}/{SEEDS} |", SEEDS * 8);
+    println!(
+        "| detector-S system (n=8) | {SEEDS} | {} | {certified}/{SEEDS} |",
+        SEEDS * 8
+    );
 
     // Semi-synchronous 2-step rounds.
     let mut certified = 0usize;
@@ -164,7 +165,12 @@ fn e2() {
     println!();
     println!("| n | f | t | simulated rounds | max observed per-round miss | ≤ t always | ≤ f observed |");
     println!("|---|---|---|------------------|-----------------------------|------------|--------------|");
-    for &(nv, f, t) in &[(7usize, 1usize, 3usize), (11, 2, 5), (15, 3, 7), (21, 4, 10)] {
+    for &(nv, f, t) in &[
+        (7usize, 1usize, 3usize),
+        (11, 2, 5),
+        (15, 3, 7),
+        (21, 4, 10),
+    ] {
         let size = n(nv);
         let mut worst = 0usize;
         let rounds = 6u32;
@@ -266,14 +272,7 @@ fn e3() {
     println!();
     println!("| n | k | runs | rounds to decide | max distinct decisions | task violations |");
     println!("|---|---|------|------------------|------------------------|-----------------|");
-    for &(nv, k) in &[
-        (4usize, 1usize),
-        (8, 2),
-        (8, 4),
-        (16, 3),
-        (32, 5),
-        (64, 8),
-    ] {
+    for &(nv, k) in &[(4usize, 1usize), (8, 2), (8, 4), (16, 3), (32, 5), (64, 8)] {
         let size = n(nv);
         let ins = inputs(nv);
         let task = KSetAgreement::new(k);
@@ -312,14 +311,16 @@ fn e4() {
                 .with_snapshots()
                 .run(procs, &mut sched)
                 .unwrap();
-            let distinct: BTreeSet<Value> =
-                report.outputs.iter().flatten().copied().collect();
+            let distinct: BTreeSet<Value> = report.outputs.iter().flatten().copied().collect();
             max_distinct = max_distinct.max(distinct.len());
             if task.check(&ins, &report.outputs).is_err() {
                 violations += 1;
             }
         }
-        println!("| {nv} | {k} | {} | {SEEDS} | {max_distinct} | {violations} |", k - 1);
+        println!(
+            "| {nv} | {k} | {} | {SEEDS} | {max_distinct} | {violations} |",
+            k - 1
+        );
     }
     println!();
 }
@@ -366,8 +367,7 @@ fn e6() {
                 .collect();
             let mut adv = RandomAdversary::new(Snapshot::new(size, k), seed);
             let report = run_as_omission(size, f, k, protos, &mut adv).unwrap();
-            worst_footprint =
-                worst_footprint.max(report.run.pattern.cumulative_union().len());
+            worst_footprint = worst_footprint.max(report.run.pattern.cumulative_union().len());
             if report.omission_certified {
                 certified += 1;
             }
@@ -396,8 +396,7 @@ fn e7() {
             for seed in 0..SEEDS {
                 let mut sched = RandomScheduler::new(seed, 0);
                 let outs = run_adopt_commit(size, &ins, &mut sched).unwrap();
-                let grades: BTreeSet<Grade> =
-                    outs.iter().flatten().map(|&(g, _)| g).collect();
+                let grades: BTreeSet<Grade> = outs.iter().flatten().map(|&(g, _)| g).collect();
                 if grades == BTreeSet::from([Grade::Commit]) {
                     all_commit += 1;
                 } else if grades.len() > 1 {
@@ -407,9 +406,7 @@ fn e7() {
                     violations += 1;
                 }
             }
-            println!(
-                "| {nv} | {label} | {SEEDS} | {all_commit} | {mixed} | {violations} |"
-            );
+            println!("| {nv} | {label} | {SEEDS} | {all_commit} | {mixed} | {violations} |");
         }
     }
     println!();
@@ -431,8 +428,7 @@ fn e8() {
                 .map(|v| FloodMin::new(v, budget))
                 .collect();
             let mut sched = RandomScheduler::new(seed, k).crash_prob(0.02);
-            let report =
-                run_crash_simulation(size, k, f, budget, protos, &mut sched).unwrap();
+            let report = run_crash_simulation(size, k, f, budget, protos, &mut sched).unwrap();
             worst = worst.max(report.pattern.cumulative_union().len());
             if report.crash_certified {
                 certified += 1;
@@ -559,8 +555,7 @@ fn e11() {
         let mut worst = 0u32;
         for seed in 0..SEEDS {
             let mut adv = RandomAdversary::new(AntiSymmetric::new(size), seed);
-            let r = rounds_until_known_by_all(size, &mut adv, 2 * nv as u32)
-                .expect("≤ n rounds");
+            let r = rounds_until_known_by_all(size, &mut adv, 2 * nv as u32).expect("≤ n rounds");
             worst = worst.max(r);
         }
         println!("| {nv} | {ring} | {worst} |");
@@ -609,8 +604,7 @@ fn e13() {
             if engine_out == threaded_out {
                 identical += 1;
             }
-            let outs: Vec<Option<Value>> =
-                threaded_out.iter().map(|&v| Some(v)).collect();
+            let outs: Vec<Option<Value>> = threaded_out.iter().map(|&v| Some(v)).collect();
             if task.check_terminating(&ins, &outs).is_err() {
                 violations += 1;
             }
@@ -641,8 +635,7 @@ fn e14() {
                 .with_snapshots()
                 .run(procs, &mut sched)
                 .unwrap();
-            let all: Vec<Vec<IdSet>> =
-                report.outputs.into_iter().map(Option::unwrap).collect();
+            let all: Vec<Vec<IdSet>> = report.outputs.into_iter().map(Option::unwrap).collect();
             let mut ok = true;
             let mut pattern = FaultPattern::new(size);
             for r in 0..rounds as usize {
@@ -665,9 +658,7 @@ fn e14() {
                 certified += 1;
             }
         }
-        println!(
-            "| {nv} | {rounds} | {SEEDS} | {props_ok}/{SEEDS} | {certified}/{SEEDS} |"
-        );
+        println!("| {nv} | {rounds} | {SEEDS} | {props_ok}/{SEEDS} | {certified}/{SEEDS} |");
     }
     println!();
 }
@@ -735,10 +726,7 @@ fn e16() {
             let mut adv = RandomAdversary::new(model, seed);
             let report = Engine::new(size).run(protos, &mut adv, &model).unwrap();
             max_rounds = max_rounds.max(report.rounds_executed);
-            if task
-                .check_terminating(&ins, &report.outputs())
-                .is_err()
-            {
+            if task.check_terminating(&ins, &report.outputs()).is_err() {
                 violations += 1;
             }
         }
@@ -757,8 +745,12 @@ fn e17() {
     let size = n(10);
     println!("n = 10, tolerance f = {f}; one actual crash per round until f′ is reached");
     println!();
-    println!("| actual failures f′ | rounds to decide | worst-case bound min(f′+2, f+1) | consensus |");
-    println!("|--------------------|------------------|----------------------------------|-----------|");
+    println!(
+        "| actual failures f′ | rounds to decide | worst-case bound min(f′+2, f+1) | consensus |"
+    );
+    println!(
+        "|--------------------|------------------|----------------------------------|-----------|"
+    );
     for f_actual in 0..=f {
         let inputs: Vec<Value> = (0..10u64).collect();
         let protos: Vec<_> = inputs
@@ -835,14 +827,19 @@ fn submodel_table() {
         (
             Snapshot::new(size, f).name(),
             Swmr::new(size, f).name(),
-            refines_on_samples(&Snapshot::new(size, f), &Swmr::new(size, f), 100, 8, 2)
-                .holds(),
+            refines_on_samples(&Snapshot::new(size, f), &Swmr::new(size, f), 100, 8, 2).holds(),
         ),
         (
             Swmr::new(size, f).name(),
             AsyncResilient::new(size, f).name(),
-            refines_on_samples(&Swmr::new(size, f), &AsyncResilient::new(size, f), 100, 8, 3)
-                .holds(),
+            refines_on_samples(
+                &Swmr::new(size, f),
+                &AsyncResilient::new(size, f),
+                100,
+                8,
+                3,
+            )
+            .holds(),
         ),
         (
             IdenticalViews::new(size).name(),
@@ -903,5 +900,7 @@ fn main() {
     e17();
     e18();
     submodel_table();
-    println!("All claims certified mechanically; any `false`/violation above is a reproduction failure.");
+    println!(
+        "All claims certified mechanically; any `false`/violation above is a reproduction failure."
+    );
 }

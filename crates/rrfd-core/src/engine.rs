@@ -19,6 +19,7 @@ use crate::id::{ProcessId, Round, SystemSize};
 use crate::idset::IdSet;
 use crate::pattern::{FaultPattern, RoundFaults};
 use crate::predicate::{validate_round, PatternViolation, RrfdPredicate};
+use crate::trace::{RunTrace, TraceBuilder, TraceOutcome};
 use std::fmt;
 
 /// A round-by-round fault detector, viewed as an adversary: at each round it
@@ -275,7 +276,7 @@ impl Engine {
     /// * [`EngineError::RoundLimitExceeded`] if some process never decides.
     pub fn run<P, D, Q>(
         &self,
-        mut protocols: Vec<P>,
+        protocols: Vec<P>,
         detector: &mut D,
         model: &Q,
     ) -> Result<RunReport<P::Output>, EngineError>
@@ -284,11 +285,33 @@ impl Engine {
         D: FaultDetector + ?Sized,
         Q: RrfdPredicate + ?Sized,
     {
+        self.run_traced(protocols, detector, model).0
+    }
+
+    /// Like [`Engine::run`], but also records a [`RunTrace`] of everything
+    /// the adversary did — even (especially) when the run fails. The trace
+    /// can be serialized, diffed, and replayed bit-for-bit through a replay
+    /// detector, which is the debugging workflow for any failing run.
+    pub fn run_traced<P, D, Q>(
+        &self,
+        mut protocols: Vec<P>,
+        detector: &mut D,
+        model: &Q,
+    ) -> (Result<RunReport<P::Output>, EngineError>, RunTrace)
+    where
+        P: RoundProtocol,
+        D: FaultDetector + ?Sized,
+        Q: RrfdPredicate + ?Sized,
+    {
+        let mut trace = TraceBuilder::new(self.n);
         if protocols.len() != self.n.get() {
-            return Err(EngineError::WrongProcessCount {
-                supplied: protocols.len(),
-                expected: self.n.get(),
-            });
+            return (
+                Err(EngineError::WrongProcessCount {
+                    supplied: protocols.len(),
+                    expected: self.n.get(),
+                }),
+                trace.finish(TraceOutcome::Aborted),
+            );
         }
 
         let n = self.n.get();
@@ -299,14 +322,21 @@ impl Engine {
             let round = Round::new(round_no);
 
             // Emit phase.
-            let messages: Vec<P::Msg> =
-                protocols.iter_mut().map(|p| p.emit(round)).collect();
+            let messages: Vec<P::Msg> = protocols.iter_mut().map(|p| p.emit(round)).collect();
 
             // The detector chooses and the engine validates D(·, r).
             let faults = detector.next_round(round, &pattern);
-            validate_round(model, &pattern, &faults)?;
+            if let Err(violation) = validate_round(model, &pattern, &faults) {
+                // Keep the offending round in the trace: it is the evidence.
+                trace.record_violating_round(faults);
+                return (
+                    Err(violation.clone().into()),
+                    trace.finish(TraceOutcome::Violation(violation)),
+                );
+            }
 
             // Receive phase: p_i gets m_{j,r} iff j ∉ D(i,r).
+            let mut heard = Vec::with_capacity(n);
             for (i, protocol) in protocols.iter_mut().enumerate() {
                 let me = ProcessId::new(i);
                 let suspected = faults.of(me);
@@ -319,6 +349,14 @@ impl Engine {
                         }
                     })
                     .collect();
+                heard.push(
+                    received
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| m.is_some())
+                        .map(|(j, _)| ProcessId::new(j))
+                        .collect::<IdSet>(),
+                );
                 let verdict = protocol.deliver(Delivery {
                     round,
                     me,
@@ -328,24 +366,38 @@ impl Engine {
                 if let Control::Decide(value) = verdict {
                     // First decision wins; later Decide outputs are ignored,
                     // matching "commit to outputs".
-                    decisions[i].get_or_insert((value, round));
+                    if decisions[i].is_none() {
+                        decisions[i] = Some((value, round));
+                        trace.record_decision(me, round);
+                    }
                 }
             }
 
+            trace.record_round(faults.clone(), heard);
             pattern.push(faults);
 
             if decisions.iter().all(Option::is_some) {
-                return Ok(RunReport {
-                    decisions,
-                    pattern,
-                    rounds_executed: round_no,
-                });
+                return (
+                    Ok(RunReport {
+                        decisions,
+                        pattern,
+                        rounds_executed: round_no,
+                    }),
+                    trace.finish(TraceOutcome::Decided {
+                        rounds_executed: round_no,
+                    }),
+                );
             }
         }
 
-        Err(EngineError::RoundLimitExceeded {
-            max_rounds: self.max_rounds,
-        })
+        (
+            Err(EngineError::RoundLimitExceeded {
+                max_rounds: self.max_rounds,
+            }),
+            trace.finish(TraceOutcome::RoundLimit {
+                max_rounds: self.max_rounds,
+            }),
+        )
     }
 }
 
@@ -454,7 +506,11 @@ mod tests {
         }
 
         let report = Engine::new(size)
-            .run(vec![Observe, Observe, Observe], &mut det, &AnyPattern::new(size))
+            .run(
+                vec![Observe, Observe, Observe],
+                &mut det,
+                &AnyPattern::new(size),
+            )
             .unwrap();
         let outs = report.outputs();
         let p0_heard = outs[0].unwrap();
@@ -515,6 +571,81 @@ mod tests {
             .run(protos, &mut det, &AnyPattern::new(size))
             .unwrap_err();
         assert_eq!(err, EngineError::RoundLimitExceeded { max_rounds: 5 });
+    }
+
+    #[test]
+    fn run_traced_records_rounds_heard_and_decisions() {
+        use crate::trace::TraceOutcome;
+
+        let size = n(3);
+        let mut r1 = RoundFaults::none(size);
+        r1.set(ProcessId::new(0), IdSet::singleton(ProcessId::new(2)));
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![r1],
+        };
+        let protos: Vec<_> = (0..3).map(|_| DecideAfter::new(2)).collect();
+        let (result, trace) =
+            Engine::new(size).run_traced(protos, &mut det, &AnyPattern::new(size));
+        let report = result.unwrap();
+
+        assert_eq!(trace.pattern(), report.pattern);
+        assert_eq!(
+            trace.outcome(),
+            &TraceOutcome::Decided { rounds_executed: 2 }
+        );
+        // Round 1: p0 suspected p2, so its heard-set omits p2 — the
+        // covering property S(i,r) ∪ D(i,r) = S, recorded explicitly.
+        let heard = &trace.rounds()[0].heard;
+        assert!(!heard[0].contains(ProcessId::new(2)));
+        assert_eq!(heard[1], IdSet::universe(size));
+        // Everyone decided at round 2.
+        for p in size.processes() {
+            assert_eq!(trace.decision_rounds()[p.index()], Some(Round::new(2)));
+        }
+        // The trace survives a serialize → parse round trip.
+        let reparsed: crate::trace::RunTrace = trace.to_string().parse().unwrap();
+        assert_eq!(reparsed, trace);
+    }
+
+    #[test]
+    fn run_traced_keeps_the_violating_round() {
+        use crate::trace::TraceOutcome;
+
+        let size = n(3);
+        let mut bad = RoundFaults::none(size);
+        bad.set(ProcessId::new(1), IdSet::universe(size));
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![RoundFaults::none(size), bad.clone()],
+        };
+        let protos: Vec<_> = (0..3).map(|_| DecideAfter::new(5)).collect();
+        let (result, trace) =
+            Engine::new(size).run_traced(protos, &mut det, &AnyPattern::new(size));
+        assert!(matches!(result, Err(EngineError::Violation(_))));
+        // Both the clean round and the offending round are recorded.
+        assert_eq!(trace.rounds().len(), 2);
+        assert_eq!(trace.rounds()[1].faults, bad);
+        assert!(matches!(trace.outcome(), TraceOutcome::Violation(_)));
+    }
+
+    #[test]
+    fn run_traced_aborts_on_wrong_process_count() {
+        use crate::trace::TraceOutcome;
+
+        let size = n(3);
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![],
+        };
+        let (result, trace) = Engine::new(size).run_traced(
+            vec![DecideAfter::new(1)],
+            &mut det,
+            &AnyPattern::new(size),
+        );
+        assert!(matches!(result, Err(EngineError::WrongProcessCount { .. })));
+        assert_eq!(trace.outcome(), &TraceOutcome::Aborted);
+        assert!(trace.rounds().is_empty());
     }
 
     #[test]

@@ -144,10 +144,7 @@ impl<V: Clone + PartialEq> RoundProtocol for KnowledgeProtocol<V> {
         self.state.clone()
     }
 
-    fn deliver(
-        &mut self,
-        delivery: Delivery<'_, KnowledgeState<V>>,
-    ) -> Control<KnowledgeState<V>> {
+    fn deliver(&mut self, delivery: Delivery<'_, KnowledgeState<V>>) -> Control<KnowledgeState<V>> {
         for msg in delivery.received.iter().flatten() {
             self.state.merge(msg);
         }

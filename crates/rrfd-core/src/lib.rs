@@ -23,6 +23,9 @@
 //!   adversary move.
 //! * [`KnowledgeState`], [`KnowledgeMatrix`] — full-information runs and the
 //!   knowledge-spread arguments of §2 item 4.
+//! * [`RunTrace`], [`TraceBuilder`] — serializable records of whole runs
+//!   (every `D(i,r)`, every `S(i,r)`, decisions, violations) for the
+//!   capture → replay debugging workflow.
 //! * [`task`] — checkable task specifications (consensus, k-set agreement,
 //!   adopt-commit).
 //!
@@ -40,6 +43,7 @@ mod idset;
 mod pattern;
 mod predicate;
 pub mod task;
+mod trace;
 
 pub use engine::{
     Control, Delivery, Engine, EngineError, FaultDetector, RoundProtocol, RunReport,
@@ -50,6 +54,6 @@ pub use id::{InvalidSystemSize, ProcessId, Round, SystemSize, MAX_PROCESSES};
 pub use idset::{IdSet, Iter};
 pub use pattern::{FaultPattern, RoundFaults};
 pub use predicate::{
-    ill_formed_process, validate_round, And, AnyPattern, Or, PatternViolation,
-    RrfdPredicate,
+    ill_formed_process, validate_round, And, AnyPattern, Or, PatternViolation, RrfdPredicate,
 };
+pub use trace::{ParseTraceError, RunTrace, TraceBuilder, TraceOutcome, TraceRound};

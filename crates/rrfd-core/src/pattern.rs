@@ -126,9 +126,7 @@ impl RoundFaults {
 
 impl fmt::Debug for RoundFaults {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_map()
-            .entries(self.iter())
-            .finish()
+        f.debug_map().entries(self.iter()).finish()
     }
 }
 
@@ -268,10 +266,7 @@ mod tests {
     #[test]
     fn union_intersection_uncertainty() {
         let n = n4();
-        let rf = RoundFaults::from_sets(
-            n,
-            vec![ids(&[3]), ids(&[2, 3]), ids(&[3]), ids(&[3])],
-        );
+        let rf = RoundFaults::from_sets(n, vec![ids(&[3]), ids(&[2, 3]), ids(&[3]), ids(&[3])]);
         assert_eq!(rf.union(), ids(&[2, 3]));
         assert_eq!(rf.intersection(), ids(&[3]));
         assert_eq!(rf.uncertainty(), ids(&[2]));

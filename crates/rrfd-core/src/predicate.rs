@@ -81,10 +81,7 @@ impl<P: RrfdPredicate + ?Sized> RrfdPredicate for Box<P> {
 #[must_use]
 pub fn ill_formed_process(round: &RoundFaults) -> Option<ProcessId> {
     let universe = IdSet::universe(round.system_size());
-    round
-        .iter()
-        .find(|&(_, d)| d == universe)
-        .map(|(i, _)| i)
+    round.iter().find(|&(_, d)| d == universe).map(|(i, _)| i)
 }
 
 /// The trivially-true predicate: any well-formed pattern is admitted.

@@ -46,7 +46,10 @@ impl fmt::Display for TaskViolation {
                 write!(f, "{process} decided {decided}, which is not any input")
             }
             TaskViolation::Agreement { found, allowed } => {
-                write!(f, "{found} distinct values decided, at most {allowed} allowed")
+                write!(
+                    f,
+                    "{found} distinct values decided, at most {allowed} allowed"
+                )
             }
             TaskViolation::Termination { process } => {
                 write!(f, "{process} failed to decide")
@@ -108,11 +111,7 @@ impl KSetAgreement {
     ///
     /// Returns the first [`TaskViolation`] found: a validity breach, then an
     /// agreement breach.
-    pub fn check(
-        self,
-        inputs: &[Value],
-        outputs: &[Option<Value>],
-    ) -> Result<(), TaskViolation> {
+    pub fn check(self, inputs: &[Value], outputs: &[Option<Value>]) -> Result<(), TaskViolation> {
         let input_set: BTreeSet<Value> = inputs.iter().copied().collect();
         let mut decided = BTreeSet::new();
         for (i, out) in outputs.iter().enumerate() {

@@ -1,0 +1,600 @@
+//! Run traces: serializable, replayable records of RRFD executions.
+//!
+//! A [`RunTrace`] captures everything the round engine saw an adversary do:
+//! per-round suspicion sets `D(i,r)`, the delivered-message summary `S(i,r)`
+//! (who each process actually heard from), per-process decision rounds, and
+//! how the run ended — full decision, predicate violation, or round-limit
+//! exhaustion. [`crate::Engine::run_traced`] and the threaded runtime's
+//! equivalent record one as they go, so a failing run is never an opaque
+//! assertion: the trace can be printed (stable text format, one value per
+//! line), parsed back, and re-driven bit-for-bit through any engine via a
+//! replay detector (`rrfd-models::adversary::ReplayDetector`).
+//!
+//! The text format is line-oriented and versioned:
+//!
+//! ```text
+//! rrfd-trace v1
+//! n 3
+//! round 1
+//! d - 2 -
+//! s 0,1,2 0,1 0,1,2
+//! decisions 1 1 1
+//! outcome decided rounds=1
+//! ```
+//!
+//! `d` lines hold `D(i,r)` per process (comma-separated ids, `-` for the
+//! empty set); `s` lines hold `S(i,r)` the same way; `decisions` holds each
+//! process's decision round or `-`.
+
+use crate::id::{ProcessId, Round, SystemSize, MAX_PROCESSES};
+use crate::idset::IdSet;
+use crate::pattern::{FaultPattern, RoundFaults};
+use crate::predicate::PatternViolation;
+use std::fmt;
+use std::str::FromStr;
+
+/// One executed round as seen by the engine: the adversary's suspicion sets
+/// and what each process actually heard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRound {
+    /// `faults.of(i)` is `D(i, r)`.
+    pub faults: RoundFaults,
+    /// `heard[i]` is `S(i, r)` — processes whose round message reached `i`.
+    /// Empty for a round the adversary aborted with a violation (no
+    /// delivery happened).
+    pub heard: Vec<IdSet>,
+}
+
+/// How a traced run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Every process decided; the run took `rounds_executed` full rounds.
+    Decided {
+        /// Number of rounds executed.
+        rounds_executed: u32,
+    },
+    /// The adversary broke well-formedness or the model predicate. The
+    /// offending round's `D` sets are the trace's final [`TraceRound`].
+    Violation(PatternViolation),
+    /// The round budget elapsed before every process decided.
+    RoundLimit {
+        /// The configured limit.
+        max_rounds: u32,
+    },
+    /// The run ended without a verdict from the adversary/protocol
+    /// interaction itself: it never started (wrong protocol count) or a
+    /// harness-level failure cut it short (for example, a process thread
+    /// dying in the threaded runtime).
+    Aborted,
+}
+
+impl fmt::Display for TraceOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceOutcome::Decided { rounds_executed } => {
+                write!(f, "decided rounds={rounds_executed}")
+            }
+            TraceOutcome::Violation(PatternViolation::IllFormed { process, round }) => {
+                write!(
+                    f,
+                    "violation ill-formed process={} round={}",
+                    process.index(),
+                    round.get()
+                )
+            }
+            TraceOutcome::Violation(PatternViolation::PredicateRejected { predicate, round }) => {
+                write!(
+                    f,
+                    "violation predicate round={} name={predicate}",
+                    round.get()
+                )
+            }
+            TraceOutcome::RoundLimit { max_rounds } => write!(f, "limit max={max_rounds}"),
+            TraceOutcome::Aborted => write!(f, "aborted"),
+        }
+    }
+}
+
+/// A complete record of one engine run. Build with [`TraceBuilder`] (the
+/// engines do this) or parse from the text format with [`str::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunTrace {
+    n: SystemSize,
+    rounds: Vec<TraceRound>,
+    decision_rounds: Vec<Option<Round>>,
+    outcome: TraceOutcome,
+}
+
+impl RunTrace {
+    /// The system size the trace was recorded over.
+    #[must_use]
+    pub fn system_size(&self) -> SystemSize {
+        self.n
+    }
+
+    /// The recorded rounds, in execution order.
+    #[must_use]
+    pub fn rounds(&self) -> &[TraceRound] {
+        &self.rounds
+    }
+
+    /// The round at which each process decided, aligned by process index.
+    #[must_use]
+    pub fn decision_rounds(&self) -> &[Option<Round>] {
+        &self.decision_rounds
+    }
+
+    /// How the run ended.
+    #[must_use]
+    pub fn outcome(&self) -> &TraceOutcome {
+        &self.outcome
+    }
+
+    /// The fault pattern over every recorded round — including, for a
+    /// violation trace, the final offending round that the engine refused
+    /// to push into its own history.
+    #[must_use]
+    pub fn pattern(&self) -> FaultPattern {
+        let mut pattern = FaultPattern::new(self.n);
+        for round in &self.rounds {
+            pattern.push(round.faults.clone());
+        }
+        pattern
+    }
+
+    /// The processes whose first decision landed in round `r`.
+    #[must_use]
+    pub fn deciders_at(&self, r: Round) -> IdSet {
+        self.decision_rounds
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == Some(r))
+            .map(|(i, _)| ProcessId::new(i))
+            .collect()
+    }
+}
+
+/// Incrementally records a [`RunTrace`] while an engine runs.
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    n: SystemSize,
+    rounds: Vec<TraceRound>,
+    decision_rounds: Vec<Option<Round>>,
+}
+
+impl TraceBuilder {
+    /// Starts an empty trace for a system of `n` processes.
+    #[must_use]
+    pub fn new(n: SystemSize) -> Self {
+        TraceBuilder {
+            n,
+            rounds: Vec::new(),
+            decision_rounds: vec![None; n.get()],
+        }
+    }
+
+    /// Records a completed round: the adversary's sets plus what each
+    /// process heard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heard` is not one set per process.
+    pub fn record_round(&mut self, faults: RoundFaults, heard: Vec<IdSet>) {
+        assert_eq!(heard.len(), self.n.get(), "one S(i,r) per process required");
+        self.rounds.push(TraceRound { faults, heard });
+    }
+
+    /// Records a round the engine rejected before delivery: the offending
+    /// `D` sets are kept (that is the evidence) with empty heard-sets.
+    pub fn record_violating_round(&mut self, faults: RoundFaults) {
+        let heard = vec![IdSet::empty(); self.n.get()];
+        self.rounds.push(TraceRound { faults, heard });
+    }
+
+    /// Records `process`'s first decision round; later calls are ignored,
+    /// matching the engines' "first decision wins".
+    pub fn record_decision(&mut self, process: ProcessId, round: Round) {
+        self.decision_rounds[process.index()].get_or_insert(round);
+    }
+
+    /// Seals the trace with its outcome.
+    #[must_use]
+    pub fn finish(self, outcome: TraceOutcome) -> RunTrace {
+        RunTrace {
+            n: self.n,
+            rounds: self.rounds,
+            decision_rounds: self.decision_rounds,
+            outcome,
+        }
+    }
+}
+
+fn write_idset(f: &mut fmt::Formatter<'_>, set: IdSet) -> fmt::Result {
+    if set.is_empty() {
+        return f.write_str("-");
+    }
+    for (k, p) in set.iter().enumerate() {
+        if k > 0 {
+            f.write_str(",")?;
+        }
+        write!(f, "{}", p.index())?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for RunTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rrfd-trace v1")?;
+        writeln!(f, "n {}", self.n.get())?;
+        for (idx, round) in self.rounds.iter().enumerate() {
+            writeln!(f, "round {}", idx + 1)?;
+            f.write_str("d")?;
+            for (_, d) in round.faults.iter() {
+                f.write_str(" ")?;
+                write_idset(f, d)?;
+            }
+            f.write_str("\ns")?;
+            for &s in &round.heard {
+                f.write_str(" ")?;
+                write_idset(f, s)?;
+            }
+            f.write_str("\n")?;
+        }
+        f.write_str("decisions")?;
+        for d in &self.decision_rounds {
+            match d {
+                Some(r) => write!(f, " {}", r.get())?,
+                None => f.write_str(" -")?,
+            }
+        }
+        writeln!(f, "\noutcome {}", self.outcome)
+    }
+}
+
+/// Why a serialized trace failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl ParseTraceError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseTraceError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn parse_idset(token: &str, n: SystemSize, line: usize) -> Result<IdSet, ParseTraceError> {
+    if token == "-" {
+        return Ok(IdSet::empty());
+    }
+    let mut set = IdSet::empty();
+    for part in token.split(',') {
+        let idx: usize = part
+            .parse()
+            .map_err(|_| ParseTraceError::new(line, format!("bad process id {part:?}")))?;
+        if idx >= n.get() || idx >= MAX_PROCESSES {
+            return Err(ParseTraceError::new(
+                line,
+                format!("process id {idx} outside the {}-process universe", n.get()),
+            ));
+        }
+        set.insert(ProcessId::new(idx));
+    }
+    Ok(set)
+}
+
+fn parse_set_line(rest: &str, n: SystemSize, line: usize) -> Result<Vec<IdSet>, ParseTraceError> {
+    let sets: Vec<IdSet> = rest
+        .split_whitespace()
+        .map(|tok| parse_idset(tok, n, line))
+        .collect::<Result<_, _>>()?;
+    if sets.len() != n.get() {
+        return Err(ParseTraceError::new(
+            line,
+            format!("expected {} sets, found {}", n.get(), sets.len()),
+        ));
+    }
+    Ok(sets)
+}
+
+fn parse_kv<'a>(token: &'a str, key: &str, line: usize) -> Result<&'a str, ParseTraceError> {
+    token
+        .strip_prefix(key)
+        .and_then(|t| t.strip_prefix('='))
+        .ok_or_else(|| ParseTraceError::new(line, format!("expected `{key}=...`, found {token:?}")))
+}
+
+fn parse_outcome(rest: &str, line: usize) -> Result<TraceOutcome, ParseTraceError> {
+    let mut words = rest.split_whitespace();
+    match words.next() {
+        Some("decided") => {
+            let rounds = parse_kv(words.next().unwrap_or(""), "rounds", line)?;
+            let rounds_executed = rounds
+                .parse()
+                .map_err(|_| ParseTraceError::new(line, "bad round count"))?;
+            Ok(TraceOutcome::Decided { rounds_executed })
+        }
+        Some("limit") => {
+            let max = parse_kv(words.next().unwrap_or(""), "max", line)?;
+            let max_rounds = max
+                .parse()
+                .map_err(|_| ParseTraceError::new(line, "bad round limit"))?;
+            Ok(TraceOutcome::RoundLimit { max_rounds })
+        }
+        Some("aborted") => Ok(TraceOutcome::Aborted),
+        Some("violation") => match words.next() {
+            Some("ill-formed") => {
+                let process: usize = parse_kv(words.next().unwrap_or(""), "process", line)?
+                    .parse()
+                    .map_err(|_| ParseTraceError::new(line, "bad process id"))?;
+                let round: u32 = parse_kv(words.next().unwrap_or(""), "round", line)?
+                    .parse()
+                    .map_err(|_| ParseTraceError::new(line, "bad round"))?;
+                if process >= MAX_PROCESSES || round == 0 {
+                    return Err(ParseTraceError::new(line, "violation out of range"));
+                }
+                Ok(TraceOutcome::Violation(PatternViolation::IllFormed {
+                    process: ProcessId::new(process),
+                    round: Round::new(round),
+                }))
+            }
+            Some("predicate") => {
+                let round: u32 = parse_kv(words.next().unwrap_or(""), "round", line)?
+                    .parse()
+                    .map_err(|_| ParseTraceError::new(line, "bad round"))?;
+                if round == 0 {
+                    return Err(ParseTraceError::new(line, "round must be positive"));
+                }
+                // The name is everything after `name=` on the original line
+                // (predicate names may contain spaces).
+                let name = rest
+                    .split_once("name=")
+                    .map(|(_, name)| name.to_owned())
+                    .ok_or_else(|| ParseTraceError::new(line, "missing predicate name"))?;
+                Ok(TraceOutcome::Violation(
+                    PatternViolation::PredicateRejected {
+                        predicate: name,
+                        round: Round::new(round),
+                    },
+                ))
+            }
+            other => Err(ParseTraceError::new(
+                line,
+                format!("unknown violation kind {other:?}"),
+            )),
+        },
+        other => Err(ParseTraceError::new(
+            line,
+            format!("unknown outcome {other:?}"),
+        )),
+    }
+}
+
+impl FromStr for RunTrace {
+    type Err = ParseTraceError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+        let (lno, header) = lines
+            .next()
+            .ok_or_else(|| ParseTraceError::new(0, "empty trace"))?;
+        if header != "rrfd-trace v1" {
+            return Err(ParseTraceError::new(lno, "missing `rrfd-trace v1` header"));
+        }
+        let (lno, n_line) = lines
+            .next()
+            .ok_or_else(|| ParseTraceError::new(lno, "missing `n` line"))?;
+        let n_val: usize = n_line
+            .strip_prefix("n ")
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| ParseTraceError::new(lno, "expected `n <size>`"))?;
+        let n = SystemSize::new(n_val)
+            .map_err(|e| ParseTraceError::new(lno, format!("bad system size: {e}")))?;
+
+        let mut builder = TraceBuilder::new(n);
+        let mut decision_rounds: Option<Vec<Option<Round>>> = None;
+        let mut outcome: Option<TraceOutcome> = None;
+        let mut pending_faults: Option<RoundFaults> = None;
+
+        for (lno, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("round ") {
+                if pending_faults.is_some() {
+                    return Err(ParseTraceError::new(lno, "round without `s` line"));
+                }
+                let _: u32 = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseTraceError::new(lno, "bad round number"))?;
+            } else if let Some(rest) = line.strip_prefix("d ") {
+                if pending_faults.is_some() {
+                    return Err(ParseTraceError::new(lno, "two `d` lines in one round"));
+                }
+                let sets = parse_set_line(rest, n, lno)?;
+                pending_faults = Some(RoundFaults::from_sets(n, sets));
+            } else if let Some(rest) = line.strip_prefix("s ") {
+                let faults = pending_faults
+                    .take()
+                    .ok_or_else(|| ParseTraceError::new(lno, "`s` line without `d` line"))?;
+                let heard = parse_set_line(rest, n, lno)?;
+                builder.record_round(faults, heard);
+            } else if let Some(rest) = line.strip_prefix("decisions") {
+                let ds: Vec<Option<Round>> = rest
+                    .split_whitespace()
+                    .map(|tok| {
+                        if tok == "-" {
+                            Ok(None)
+                        } else {
+                            tok.parse::<u32>()
+                                .ok()
+                                .filter(|&r| r > 0)
+                                .map(|r| Some(Round::new(r)))
+                                .ok_or_else(|| {
+                                    ParseTraceError::new(lno, format!("bad decision round {tok:?}"))
+                                })
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                if ds.len() != n.get() {
+                    return Err(ParseTraceError::new(
+                        lno,
+                        format!("expected {} decisions, found {}", n.get(), ds.len()),
+                    ));
+                }
+                decision_rounds = Some(ds);
+            } else if let Some(rest) = line.strip_prefix("outcome ") {
+                outcome = Some(parse_outcome(rest, lno)?);
+            } else {
+                return Err(ParseTraceError::new(
+                    lno,
+                    format!("unrecognised line {line:?}"),
+                ));
+            }
+        }
+
+        if pending_faults.is_some() {
+            return Err(ParseTraceError::new(
+                0,
+                "trailing `d` line without `s` line",
+            ));
+        }
+        let mut trace = builder
+            .finish(outcome.ok_or_else(|| ParseTraceError::new(0, "missing `outcome` line"))?);
+        if let Some(ds) = decision_rounds {
+            trace.decision_rounds = ds;
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: usize) -> SystemSize {
+        SystemSize::new(v).unwrap()
+    }
+
+    fn ids(xs: &[usize]) -> IdSet {
+        xs.iter().map(|&i| ProcessId::new(i)).collect()
+    }
+
+    fn sample_trace() -> RunTrace {
+        let size = n(3);
+        let mut builder = TraceBuilder::new(size);
+        let mut r1 = RoundFaults::none(size);
+        r1.set(ProcessId::new(1), ids(&[2]));
+        builder.record_round(r1, vec![ids(&[0, 1, 2]), ids(&[0, 1]), ids(&[0, 1, 2])]);
+        builder.record_round(RoundFaults::none(size), vec![ids(&[0, 1, 2]); 3]);
+        builder.record_decision(ProcessId::new(0), Round::new(1));
+        builder.record_decision(ProcessId::new(1), Round::new(2));
+        builder.record_decision(ProcessId::new(2), Round::new(2));
+        builder.finish(TraceOutcome::Decided { rounds_executed: 2 })
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let trace = sample_trace();
+        let text = trace.to_string();
+        let parsed: RunTrace = text.parse().unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn violation_outcomes_round_trip() {
+        let size = n(2);
+        let mut builder = TraceBuilder::new(size);
+        let mut bad = RoundFaults::none(size);
+        bad.set(ProcessId::new(0), IdSet::universe(size));
+        builder.record_violating_round(bad);
+        let trace = builder.finish(TraceOutcome::Violation(PatternViolation::IllFormed {
+            process: ProcessId::new(0),
+            round: Round::new(1),
+        }));
+        let parsed: RunTrace = trace.to_string().parse().unwrap();
+        assert_eq!(parsed, trace);
+
+        let mut builder = TraceBuilder::new(size);
+        builder.record_violating_round(RoundFaults::none(size));
+        let trace = builder.finish(TraceOutcome::Violation(
+            PatternViolation::PredicateRejected {
+                predicate: "crash(f = 1, with spaces)".to_owned(),
+                round: Round::new(1),
+            },
+        ));
+        let parsed: RunTrace = trace.to_string().parse().unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn limit_and_aborted_round_trip() {
+        for outcome in [
+            TraceOutcome::RoundLimit { max_rounds: 17 },
+            TraceOutcome::Aborted,
+        ] {
+            let trace = TraceBuilder::new(n(2)).finish(outcome.clone());
+            let parsed: RunTrace = trace.to_string().parse().unwrap();
+            assert_eq!(parsed.outcome(), &outcome);
+        }
+    }
+
+    #[test]
+    fn pattern_reconstructs_all_rounds() {
+        let trace = sample_trace();
+        let pattern = trace.pattern();
+        assert_eq!(pattern.rounds(), 2);
+        assert_eq!(
+            pattern.of(ProcessId::new(1), Round::new(1)),
+            Some(ids(&[2]))
+        );
+    }
+
+    #[test]
+    fn deciders_at_groups_by_round() {
+        let trace = sample_trace();
+        assert_eq!(trace.deciders_at(Round::new(1)), ids(&[0]));
+        assert_eq!(trace.deciders_at(Round::new(2)), ids(&[1, 2]));
+    }
+
+    #[test]
+    fn first_decision_wins_in_builder() {
+        let mut builder = TraceBuilder::new(n(2));
+        builder.record_decision(ProcessId::new(0), Round::new(3));
+        builder.record_decision(ProcessId::new(0), Round::new(5));
+        let trace = builder.finish(TraceOutcome::Aborted);
+        assert_eq!(trace.decision_rounds()[0], Some(Round::new(3)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!("".parse::<RunTrace>().is_err());
+        assert!("bogus header\nn 3".parse::<RunTrace>().is_err());
+        // Process id outside the universe.
+        let bad = "rrfd-trace v1\nn 2\nround 1\nd 5 -\ns - -\noutcome aborted\n";
+        assert!(bad.parse::<RunTrace>().is_err());
+        // Wrong arity.
+        let bad = "rrfd-trace v1\nn 3\nround 1\nd - -\ns - - -\noutcome aborted\n";
+        assert!(bad.parse::<RunTrace>().is_err());
+        // Missing outcome.
+        let bad = "rrfd-trace v1\nn 2\ndecisions - -\n";
+        assert!(bad.parse::<RunTrace>().is_err());
+    }
+}

@@ -13,6 +13,8 @@
 //!   cheap at any system size.
 //! * [`ScriptedDetector`] and [`NoFailures`] — deterministic detectors for
 //!   tests and hand-built executions.
+//! * [`ReplayDetector`] — re-drives a captured [`rrfd_core::RunTrace`]
+//!   bit for bit, closing the capture → replay debugging loop.
 //! * [`SilencingCrash`] — the targeted worst-case adversary behind the
 //!   synchronous lower-bound experiment (E9): it silences `k` value-carrier
 //!   chains per round and defeats any ⌊f/k⌋-round k-set agreement protocol.
@@ -24,11 +26,13 @@
 //!   partition that eq. 4 exists to exclude.
 
 mod random;
+mod replay;
 mod scripted;
 mod silencer;
 mod worst_case;
 
 pub use random::{RandomAdversary, SampleModel};
+pub use replay::ReplayDetector;
 pub use scripted::{NoFailures, RingMiss, ScriptedDetector};
 pub use silencer::SilencingCrash;
 pub use worst_case::{Partition, SpreadKUncertainty, StaggeredCrash};

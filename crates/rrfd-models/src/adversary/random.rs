@@ -1,15 +1,14 @@
 //! Seeded random adversaries with constructive per-predicate samplers.
 
 use crate::predicates::{
-    AsyncResilient, Crash, DetectorS, IdenticalViews, KUncertainty, SendOmission, Snapshot,
-    Swmr, SystemB,
+    AsyncResilient, Crash, DetectorS, IdenticalViews, KUncertainty, SendOmission, Snapshot, Swmr,
+    SystemB,
 };
 use rand::rngs::StdRng;
 use rand::seq::{IteratorRandom, SliceRandom};
 use rand::{Rng, SeedableRng};
 use rrfd_core::{
-    FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundFaults, RrfdPredicate,
-    SystemSize,
+    FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundFaults, RrfdPredicate, SystemSize,
 };
 
 /// A predicate that knows how to *generate* legal rounds, not just check
@@ -356,14 +355,8 @@ mod tests {
     fn eventually_strong_sampler_is_sound() {
         use crate::predicates::EventuallyStrong;
         use rrfd_core::Round;
-        assert_sampler_sound(
-            EventuallyStrong::new(n(7), 3, Round::new(4)),
-            20,
-        );
-        assert_sampler_sound(
-            EventuallyStrong::new(n(5), 1, Round::new(1)),
-            15,
-        );
+        assert_sampler_sound(EventuallyStrong::new(n(7), 3, Round::new(4)), 20);
+        assert_sampler_sound(EventuallyStrong::new(n(5), 1, Round::new(1)), 15);
     }
 
     #[test]

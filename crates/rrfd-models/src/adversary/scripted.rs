@@ -1,9 +1,7 @@
 //! Deterministic detectors: scripts, the fault-free detector, and the ring
 //! miss pattern of §2 item 4.
 
-use rrfd_core::{
-    FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundFaults, SystemSize,
-};
+use rrfd_core::{FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundFaults, SystemSize};
 
 /// A detector that replays a fixed script of rounds, then reports no faults
 /// forever.

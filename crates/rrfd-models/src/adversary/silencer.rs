@@ -16,9 +16,7 @@
 //! [`Crash`](crate::predicates::Crash). Experiment E9 runs flood-set against
 //! it at budgets `R` (violation) and `R + 1` (correct).
 
-use rrfd_core::{
-    FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundFaults, SystemSize,
-};
+use rrfd_core::{FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundFaults, SystemSize};
 
 /// The chain-silencing crash adversary for the `⌊f/k⌋ + 1` lower bound.
 #[derive(Debug, Clone, Copy)]
@@ -103,10 +101,7 @@ impl FaultDetector for SilencingCrash {
 
         if r > self.rounds {
             // Silencing is over: every crash is universal knowledge.
-            return RoundFaults::from_sets(
-                self.n,
-                vec![previously_crashed; self.n.get()],
-            );
+            return RoundFaults::from_sets(self.n, vec![previously_crashed; self.n.get()]);
         }
 
         // Crash the round-r chain heads; each delivers only to its receiver

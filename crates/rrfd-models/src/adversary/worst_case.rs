@@ -1,9 +1,7 @@
 //! Targeted worst-case adversaries beyond the chain silencer: detectors
 //! built to reach the *boundary* of what their model allows.
 
-use rrfd_core::{
-    FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundFaults, SystemSize,
-};
+use rrfd_core::{FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundFaults, SystemSize};
 
 /// The Theorem 3.1 tightness adversary: spreads one-round k-set decisions
 /// over exactly `k` distinct values.
@@ -83,8 +81,9 @@ impl FaultDetector for StaggeredCrash {
 
     fn next_round(&mut self, round: Round, _history: &FaultPattern) -> RoundFaults {
         let r = round.get() as usize;
-        let crashed_before: IdSet =
-            (0..(r - 1).min(self.f_actual)).map(ProcessId::new).collect();
+        let crashed_before: IdSet = (0..(r - 1).min(self.f_actual))
+            .map(ProcessId::new)
+            .collect();
         let sets = self
             .n
             .processes()
@@ -188,8 +187,7 @@ mod tests {
         let mut h = FaultPattern::new(size);
         for r in 1..=6 {
             let round = adv.next_round(Round::new(r), &h);
-            validate_round(&model, &h, &round)
-                .unwrap_or_else(|e| panic!("round {r}: {e}"));
+            validate_round(&model, &h, &round).unwrap_or_else(|e| panic!("round {r}: {e}"));
             h.push(round);
         }
         assert_eq!(h.cumulative_union().len(), 3);

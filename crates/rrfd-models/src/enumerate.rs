@@ -150,9 +150,7 @@ mod tests {
             assert!(p.cumulative_union().len() <= 1);
         }
         // The all-quiet pattern is among them.
-        assert!(patterns
-            .iter()
-            .any(|p| p.cumulative_union().is_empty()));
+        assert!(patterns.iter().any(|p| p.cumulative_union().is_empty()));
     }
 
     #[test]

@@ -74,11 +74,7 @@ impl EventuallyStrong {
 
 impl RrfdPredicate for EventuallyStrong {
     fn name(&self) -> String {
-        format!(
-            "◊S(f={}, stabilize>{})",
-            self.base.f(),
-            self.stabilization
-        )
+        format!("◊S(f={}, stabilize>{})", self.base.f(), self.stabilization)
     }
 
     fn system_size(&self) -> SystemSize {
@@ -135,10 +131,7 @@ mod tests {
         h.push(RoundFaults::none(size)); // round 1 (≤ R)
 
         // Round 2 (> R): suspecting {0,1} keeps {2,3,4} as candidates.
-        let rf = RoundFaults::from_sets(
-            size,
-            vec![ids(&[0, 1]); 5],
-        );
+        let rf = RoundFaults::from_sets(size, vec![ids(&[0, 1]); 5]);
         assert!(p.admits(&h, &rf));
         h.push(rf);
         assert_eq!(p.immortal_candidates(&h), ids(&[2, 3, 4]));

@@ -116,18 +116,14 @@ mod tests {
     fn chains_are_admitted() {
         let n = n4();
         let p = Snapshot::new(n, 2);
-        let rf = RoundFaults::from_sets(
-            n,
-            vec![ids(&[2, 3]), ids(&[3]), IdSet::empty(), ids(&[2])],
-        );
+        let rf =
+            RoundFaults::from_sets(n, vec![ids(&[2, 3]), ids(&[3]), IdSet::empty(), ids(&[2])]);
         // {2,3} ⊇ {3}, {2} vs {3}: incomparable — rejected.
         assert!(!p.admits(&FaultPattern::new(n), &rf));
 
         // Fixing the chain (and self-trust: p3 must not carry {3}).
-        let rf2 = RoundFaults::from_sets(
-            n,
-            vec![ids(&[2, 3]), ids(&[3]), ids(&[3]), IdSet::empty()],
-        );
+        let rf2 =
+            RoundFaults::from_sets(n, vec![ids(&[2, 3]), ids(&[3]), ids(&[3]), IdSet::empty()]);
         assert!(p.admits(&FaultPattern::new(n), &rf2));
     }
 

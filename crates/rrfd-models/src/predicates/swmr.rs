@@ -160,16 +160,10 @@ mod tests {
         let n = n4();
         let p = SomeoneTrustedByAll::new(n);
         // Collectively every process is suspected by someone.
-        let rf = RoundFaults::from_sets(
-            n,
-            vec![ids(&[1]), ids(&[2]), ids(&[3]), ids(&[0])],
-        );
+        let rf = RoundFaults::from_sets(n, vec![ids(&[1]), ids(&[2]), ids(&[3]), ids(&[0])]);
         assert!(!p.admits(&FaultPattern::new(n), &rf));
         // Leave p3 untouched.
-        let rf2 = RoundFaults::from_sets(
-            n,
-            vec![ids(&[1]), ids(&[2]), ids(&[0]), ids(&[0])],
-        );
+        let rf2 = RoundFaults::from_sets(n, vec![ids(&[1]), ids(&[2]), ids(&[0]), ids(&[0])]);
         assert!(p.admits(&FaultPattern::new(n), &rf2));
     }
 
@@ -189,10 +183,7 @@ mod tests {
         // The paper's counterexample: p1 misses p2 misses p3 … misses p1.
         // Legal under antisymmetry (n ≥ 3), yet |∪D| = n, so eq4 rejects it.
         let n = n4();
-        let ring = RoundFaults::from_sets(
-            n,
-            (0..4).map(|i| ids(&[(i + 1) % 4])).collect(),
-        );
+        let ring = RoundFaults::from_sets(n, (0..4).map(|i| ids(&[(i + 1) % 4])).collect());
         assert!(AntiSymmetric::new(n).admits(&FaultPattern::new(n), &ring));
         assert!(!SomeoneTrustedByAll::new(n).admits(&FaultPattern::new(n), &ring));
     }

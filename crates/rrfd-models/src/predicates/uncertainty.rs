@@ -131,10 +131,8 @@ mod tests {
         let p1 = KUncertainty::new(n, 1);
         let agree = RoundFaults::from_sets(n, vec![ids(&[3]); 4]);
         assert!(p1.admits(&FaultPattern::new(n), &agree));
-        let disagree = RoundFaults::from_sets(
-            n,
-            vec![ids(&[3]), ids(&[3]), ids(&[3]), IdSet::empty()],
-        );
+        let disagree =
+            RoundFaults::from_sets(n, vec![ids(&[3]), ids(&[3]), ids(&[3]), IdSet::empty()]);
         assert!(!p1.admits(&FaultPattern::new(n), &disagree));
         // k = 2 tolerates one contested process.
         assert!(KUncertainty::new(n, 2).admits(&FaultPattern::new(n), &disagree));

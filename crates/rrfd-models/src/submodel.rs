@@ -81,8 +81,8 @@ where
 mod tests {
     use super::*;
     use crate::predicates::{
-        AsyncResilient, Crash, DetectorS, IdenticalViews, KUncertainty, SendOmission,
-        Snapshot, SomeoneTrustedByAll, Swmr, SystemB,
+        AsyncResilient, Crash, DetectorS, IdenticalViews, KUncertainty, SendOmission, Snapshot,
+        SomeoneTrustedByAll, Swmr, SystemB,
     };
     use rrfd_core::SystemSize;
 
@@ -124,10 +124,7 @@ mod tests {
         let size = n(7);
         let snap = Snapshot::new(size, 3);
         assert!(refines_on_samples(&snap, &Swmr::new(size, 3), RUNS, ROUNDS, 13).holds());
-        assert!(
-            refines_on_samples(&snap, &AsyncResilient::new(size, 3), RUNS, ROUNDS, 14)
-                .holds()
-        );
+        assert!(refines_on_samples(&snap, &AsyncResilient::new(size, 3), RUNS, ROUNDS, 14).holds());
     }
 
     #[test]
@@ -259,12 +256,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "common system size")]
     fn size_mismatch_is_rejected() {
-        let _ = refines_on_samples(
-            &Crash::new(n(4), 1),
-            &Crash::new(n(5), 1),
-            1,
-            1,
-            0,
-        );
+        let _ = refines_on_samples(&Crash::new(n(4), 1), &Crash::new(n(5), 1), 1, 1, 0);
     }
 }

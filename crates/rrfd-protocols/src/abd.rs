@@ -463,10 +463,7 @@ pub fn check_atomicity(
                         }
                     }
                     Some(v) => {
-                        let known = writes
-                            .get(&register)
-                            .and_then(|m| m.get(&rec.tag))
-                            .copied();
+                        let known = writes.get(&register).and_then(|m| m.get(&rec.tag)).copied();
                         if known != Some(v) {
                             return Err(AtomicityViolation::PhantomValue {
                                 reader: *reader,
@@ -537,9 +534,11 @@ mod tests {
     #[test]
     fn fifo_write_then_read_sees_the_value() {
         let size = n(3);
-        let scripts = [vec![Op::Write(41), Op::Write(42)],
+        let scripts = [
+            vec![Op::Write(41), Op::Write(42)],
             vec![Op::Read(ProcessId::new(0))],
-            vec![Op::Read(ProcessId::new(0))]];
+            vec![Op::Read(ProcessId::new(0))],
+        ];
         let procs: Vec<_> = size
             .processes()
             .map(|p| AbdClient::new(p, size, 1, scripts[p.index()].clone()))
@@ -628,12 +627,36 @@ mod tests {
         let t1 = Tag { seq: 1, writer: w };
         let t2 = Tag { seq: 2, writer: w };
         let writer_history = vec![
-            OpRecord { op: Op::Write(1), start: 0, end: 1, tag: t1, value: Some(1) },
-            OpRecord { op: Op::Write(2), start: 2, end: 3, tag: t2, value: Some(2) },
+            OpRecord {
+                op: Op::Write(1),
+                start: 0,
+                end: 1,
+                tag: t1,
+                value: Some(1),
+            },
+            OpRecord {
+                op: Op::Write(2),
+                start: 2,
+                end: 3,
+                tag: t2,
+                value: Some(2),
+            },
         ];
         let reader_history = vec![
-            OpRecord { op: Op::Read(w), start: 4, end: 5, tag: t2, value: Some(2) },
-            OpRecord { op: Op::Read(w), start: 6, end: 7, tag: t1, value: Some(1) },
+            OpRecord {
+                op: Op::Read(w),
+                start: 4,
+                end: 5,
+                tag: t2,
+                value: Some(2),
+            },
+            OpRecord {
+                op: Op::Read(w),
+                start: 6,
+                end: 7,
+                tag: t1,
+                value: Some(1),
+            },
         ];
         let histories = vec![
             (w, writer_history.as_slice()),

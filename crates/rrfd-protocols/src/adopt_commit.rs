@@ -366,8 +366,7 @@ mod tests {
                 // Wait-free: crashes can never block others. Allow n−1.
                 let mut sched = RandomScheduler::new(seed, 4).crash_prob(0.03);
                 let outs = run_adopt_commit(size, inputs, &mut sched).unwrap();
-                let deciders: Vec<AdoptCommitOutput> =
-                    outs.iter().copied().flatten().collect();
+                let deciders: Vec<AdoptCommitOutput> = outs.iter().copied().flatten().collect();
                 if deciders.len() == outs.len() {
                     // Crash-free run: the full spec applies.
                     spec.check(inputs, &outs)
@@ -376,16 +375,11 @@ mod tests {
                 }
                 // With crashes, check the spec restricted to deciders:
                 // validity, commit-agreement, and convergence.
-                let unanimous =
-                    inputs.windows(2).all(|w| w[0] == w[1]).then(|| inputs[0]);
+                let unanimous = inputs.windows(2).all(|w| w[0] == w[1]).then(|| inputs[0]);
                 for &(grade, v) in &deciders {
                     assert!(inputs.contains(&v), "seed {seed}: validity");
                     if let Some(u) = unanimous {
-                        assert_eq!(
-                            (grade, v),
-                            (Grade::Commit, u),
-                            "seed {seed}: convergence"
-                        );
+                        assert_eq!((grade, v), (Grade::Commit, u), "seed {seed}: convergence");
                     }
                 }
                 for &(grade, v) in &deciders {
@@ -406,8 +400,7 @@ mod tests {
             let inputs = [3, 3, 3, 8];
             let mut sched = RandomScheduler::new(seed, 0);
             let outs = run_adopt_commit(size, &inputs, &mut sched).unwrap();
-            let outs: Vec<AdoptCommitOutput> =
-                outs.into_iter().map(|o| o.unwrap()).collect();
+            let outs: Vec<AdoptCommitOutput> = outs.into_iter().map(|o| o.unwrap()).collect();
             if outs.iter().any(|&(g, v)| g == Grade::Commit && v == 3) {
                 for &(_, v) in &outs {
                     assert_eq!(v, 3, "seed {seed}: commit 3 but output {outs:?}");
@@ -433,11 +426,8 @@ mod tests {
                         AcOp::Read { owner, .. } => {
                             if owner == ProcessId::new(0) {
                                 // Own cells were written.
-                                match ops.iter().rev().find(|o| matches!(o, AcOp::Write { .. }))
-                                {
-                                    Some(AcOp::Write { cell, .. }) => {
-                                        AcObs::Value(Some(*cell))
-                                    }
+                                match ops.iter().rev().find(|o| matches!(o, AcOp::Write { .. })) {
+                                    Some(AcOp::Write { cell, .. }) => AcObs::Value(Some(*cell)),
                                     _ => AcObs::Value(None),
                                 }
                             } else {
@@ -483,9 +473,7 @@ mod tests {
                     runs += 1;
                     AdoptCommitSpec
                         .check(&inputs, &report.outputs)
-                        .unwrap_or_else(|v| {
-                            panic!("inputs {inputs:?}, schedule #{runs}: {v}")
-                        });
+                        .unwrap_or_else(|v| panic!("inputs {inputs:?}, schedule #{runs}: {v}"));
                 },
                 10_000,
             );

@@ -17,7 +17,9 @@
 //! predicate. Experiment E5 machine-checks this on every run.
 
 use rrfd_core::{IdSet, ProcessId, SystemSize};
-use rrfd_sims::shared_mem::{Action, MemProcess, MemSimError, MemScheduler, Observation, SharedMemSim};
+use rrfd_sims::shared_mem::{
+    Action, MemProcess, MemScheduler, MemSimError, Observation, SharedMemSim,
+};
 
 /// The Theorem 3.3 detector-construction process: runs `rounds` rounds and
 /// decides its per-round suspicion log.
@@ -210,8 +212,7 @@ mod tests {
     fn constructed_pattern_satisfies_pk_fair() {
         for &(nv, k) in &[(4usize, 1usize), (6, 2), (8, 3)] {
             let size = n(nv);
-            let pattern =
-                build_detector_pattern(size, k, 4, 7, &mut FairScheduler::new()).unwrap();
+            let pattern = build_detector_pattern(size, k, 4, 7, &mut FairScheduler::new()).unwrap();
             let model = KUncertainty::new(size, k);
             assert!(
                 model.admits_pattern(&pattern),
@@ -244,8 +245,7 @@ mod tests {
         let k = 2;
         for seed in 0..10u64 {
             let mut sched = RandomScheduler::new(seed, 0);
-            let pattern =
-                build_detector_pattern(size, k, 3, seed + 100, &mut sched).unwrap();
+            let pattern = build_detector_pattern(size, k, 3, seed + 100, &mut sched).unwrap();
             for (_, rf) in pattern.iter() {
                 // The uncertainty is at most k − 1.
                 assert!(rf.uncertainty().len() < k);
@@ -260,8 +260,7 @@ mod tests {
         let model = KUncertainty::new(size, k);
         for seed in 0..10u64 {
             let mut sched = RandomScheduler::new(seed, 2).crash_prob(0.01);
-            let pattern =
-                build_detector_pattern(size, k, 3, seed, &mut sched).unwrap();
+            let pattern = build_detector_pattern(size, k, 3, seed, &mut sched).unwrap();
             assert!(model.admits_pattern(&pattern), "seed {seed}");
         }
     }

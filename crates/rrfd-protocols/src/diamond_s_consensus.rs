@@ -171,12 +171,7 @@ mod tests {
         SystemSize::new(v).unwrap()
     }
 
-    fn run(
-        size: SystemSize,
-        f: usize,
-        stabilization: u32,
-        seed: u64,
-    ) -> (Vec<Option<Value>>, u32) {
+    fn run(size: SystemSize, f: usize, stabilization: u32, seed: u64) -> (Vec<Option<Value>>, u32) {
         let inputs: Vec<Value> = (0..size.get() as u64).map(|i| 600 + i).collect();
         let protos: Vec<_> = size
             .processes()

@@ -172,8 +172,7 @@ mod tests {
             let patterns = all_patterns(&model, rounds, 3_000_000);
             assert!(patterns.len() > 10);
             for pattern in &patterns {
-                let script: Vec<_> =
-                    pattern.iter().map(|(_, rf)| rf.clone()).collect();
+                let script: Vec<_> = pattern.iter().map(|(_, rf)| rf.clone()).collect();
                 let mut det = ScriptedDetector::new(size, script);
                 let r = check_run(size, f, &mut det, "exhaustive");
                 assert!(r <= rounds);

@@ -140,11 +140,7 @@ where
 /// the number of rounds it took (or `None` within `max_rounds`). Used for
 /// the cycle-length claim of item 4's antisymmetric clause.
 #[must_use]
-pub fn rounds_until_known_by_all<D>(
-    n: SystemSize,
-    detector: &mut D,
-    max_rounds: u32,
-) -> Option<u32>
+pub fn rounds_until_known_by_all<D>(n: SystemSize, detector: &mut D, max_rounds: u32) -> Option<u32>
 where
     D: FaultDetector + ?Sized,
 {
@@ -177,10 +173,7 @@ pub fn detector_s_equals_omission_footprint(pattern: &FaultPattern) -> bool {
 /// nobody — the eq. 4 witness. Returns `None` if the claim fails.
 #[must_use]
 pub fn trusted_by_all(round: &RoundFaults) -> Option<ProcessId> {
-    round
-        .union()
-        .complement(round.system_size())
-        .min()
+    round.union().complement(round.system_size()).min()
 }
 
 #[cfg(test)]
@@ -281,8 +274,8 @@ mod tests {
         let mut worst = 0;
         for seed in 0..30u64 {
             let mut adv = RandomAdversary::new(AntiSymmetric::new(size), seed);
-            let rounds = rounds_until_known_by_all(size, &mut adv, 16)
-                .expect("bounded by n rounds");
+            let rounds =
+                rounds_until_known_by_all(size, &mut adv, 16).expect("bounded by n rounds");
             assert!(rounds <= 8, "seed {seed}");
             worst = worst.max(rounds);
         }

@@ -406,14 +406,10 @@ mod tests {
                 .collect();
             let mut pattern = FaultPattern::new(size);
             for r in 0..rounds as usize {
-                let views: Vec<IdSet> =
-                    all_views.iter().map(|vs| vs[r]).collect();
+                let views: Vec<IdSet> = all_views.iter().map(|vs| vs[r]).collect();
                 pattern.push(views_to_round(size, &views));
             }
-            assert!(
-                model.admits_pattern(&pattern),
-                "seed {seed}: {pattern:?}"
-            );
+            assert!(model.admits_pattern(&pattern), "seed {seed}: {pattern:?}");
         }
     }
 
@@ -434,11 +430,8 @@ mod tests {
                 .with_snapshots()
                 .run(procs, &mut sched)
                 .unwrap();
-            let all_views: Vec<Vec<IdSet>> = report
-                .outputs
-                .into_iter()
-                .map(|v| v.unwrap())
-                .collect();
+            let all_views: Vec<Vec<IdSet>> =
+                report.outputs.into_iter().map(|v| v.unwrap()).collect();
             for r in 1..3 {
                 let prev: Vec<IdSet> = all_views.iter().map(|vs| vs[r - 1]).collect();
                 let cur: Vec<IdSet> = all_views.iter().map(|vs| vs[r]).collect();

@@ -119,9 +119,7 @@ mod tests {
                 let outs: Vec<Option<Value>> = outs
                     .iter()
                     .enumerate()
-                    .map(|(i, &v)| {
-                        (!crashed.contains(ProcessId::new(i))).then_some(v)
-                    })
+                    .map(|(i, &v)| (!crashed.contains(ProcessId::new(i))).then_some(v))
                     .collect();
                 task.check(&inputs, &outs)
                     .unwrap_or_else(|v| panic!("n={nv} f={f} k={k} seed={seed}: {v}"));
@@ -197,8 +195,7 @@ mod tests {
         for pattern in &patterns {
             let script: Vec<_> = pattern.iter().map(|(_, rf)| rf.clone()).collect();
             let mut det = ScriptedDetector::new(size, script);
-            let protos: Vec<_> =
-                inputs.iter().map(|&v| FloodMin::new(v, budget)).collect();
+            let protos: Vec<_> = inputs.iter().map(|&v| FloodMin::new(v, budget)).collect();
             let report = Engine::new(size).run(protos, &mut det, &model).unwrap();
             let crashed = report.pattern.cumulative_union();
             let outs: Vec<Option<Value>> = report
@@ -214,8 +211,8 @@ mod tests {
 
     #[test]
     fn fault_free_flooding_reaches_global_min_in_one_round() {
-        use rrfd_models::adversary::NoFailures;
         use rrfd_core::AnyPattern;
+        use rrfd_models::adversary::NoFailures;
         let size = n(5);
         let protos: Vec<_> = (0..5).map(|v| FloodMin::new(v + 10, 1)).collect();
         let report = Engine::new(size)

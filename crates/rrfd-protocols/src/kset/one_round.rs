@@ -76,8 +76,7 @@ where
 {
     assert_eq!(inputs.len(), n.get(), "one input per process");
     let model = KUncertainty::new(n, k);
-    let protocols: Vec<OneRoundKSet> =
-        inputs.iter().map(|&v| OneRoundKSet::new(v)).collect();
+    let protocols: Vec<OneRoundKSet> = inputs.iter().map(|&v| OneRoundKSet::new(v)).collect();
     let report = Engine::new(n).run(protocols, detector, &model)?;
     debug_assert_eq!(report.rounds_executed, 1, "Theorem 3.1 is one-round");
     Ok(report
@@ -106,8 +105,7 @@ mod tests {
     fn fault_free_round_reaches_consensus() {
         let size = n(5);
         let ins = inputs(5);
-        let decisions =
-            one_round_kset(size, 1, &ins, &mut NoFailures::new(size)).unwrap();
+        let decisions = one_round_kset(size, 1, &ins, &mut NoFailures::new(size)).unwrap();
         // Everyone hears everyone; all choose p0's value.
         assert!(decisions.iter().all(|&d| d == 100));
     }
@@ -125,7 +123,10 @@ mod tests {
         // p0 and p2 decide v0; p1 and p3 decide v1: exactly 2 values.
         assert_eq!(decisions, vec![100, 101, 100, 101]);
         KSetAgreement::new(2)
-            .check(&ins, &decisions.iter().map(|&d| Some(d)).collect::<Vec<_>>())
+            .check(
+                &ins,
+                &decisions.iter().map(|&d| Some(d)).collect::<Vec<_>>(),
+            )
             .unwrap();
     }
 
@@ -136,8 +137,7 @@ mod tests {
             let ins = inputs(nv);
             let task = KSetAgreement::new(k);
             for seed in 0..25u64 {
-                let mut adv =
-                    RandomAdversary::new(KUncertainty::new(size, k), seed);
+                let mut adv = RandomAdversary::new(KUncertainty::new(size, k), seed);
                 let decisions = one_round_kset(size, k, &ins, &mut adv)
                     .unwrap_or_else(|e| panic!("n={nv} k={k} seed={seed}: {e}"));
                 let outs: Vec<Option<Value>> = decisions.iter().map(|&d| Some(d)).collect();
@@ -158,8 +158,7 @@ mod tests {
             IdSet::empty(),
             IdSet::empty(),
         ];
-        let mut det =
-            ScriptedDetector::new(size, vec![RoundFaults::from_sets(size, sets)]);
+        let mut det = ScriptedDetector::new(size, vec![RoundFaults::from_sets(size, sets)]);
         let err = one_round_kset(size, 1, &ins, &mut det).unwrap_err();
         assert!(matches!(err, EngineError::Violation(_)));
     }
@@ -180,11 +179,9 @@ mod tests {
                     let mut det = ScriptedDetector::new(size, vec![round.clone()]);
                     let decisions = one_round_kset(size, k, &ins, &mut det)
                         .unwrap_or_else(|e| panic!("n={nv} k={k}: {e} on {round:?}"));
-                    let outs: Vec<Option<Value>> =
-                        decisions.iter().map(|&d| Some(d)).collect();
-                    task.check_terminating(&ins, &outs).unwrap_or_else(|v| {
-                        panic!("n={nv} k={k}: {v} on round {round:?}")
-                    });
+                    let outs: Vec<Option<Value>> = decisions.iter().map(|&d| Some(d)).collect();
+                    task.check_terminating(&ins, &outs)
+                        .unwrap_or_else(|v| panic!("n={nv} k={k}: {v} on round {round:?}"));
                 }
                 assert!(rounds_checked > 0, "n={nv} k={k}: nothing enumerated");
             }
@@ -205,8 +202,7 @@ mod tests {
             let round = RoundFaults::from_sets(size, sets);
             let mut det = ScriptedDetector::new(size, vec![round]);
             let decisions = one_round_kset(size, k, &ins, &mut det).unwrap();
-            let distinct: std::collections::BTreeSet<Value> =
-                decisions.iter().copied().collect();
+            let distinct: std::collections::BTreeSet<Value> = decisions.iter().copied().collect();
             assert_eq!(distinct.len(), k, "n={nv} k={k}: {decisions:?}");
         }
     }
@@ -226,8 +222,7 @@ mod tests {
         let task = KSetAgreement::consensus();
         let mut violations = 0usize;
         for round in all_first_rounds(AsyncResilient::new(size, 1)) {
-            let protos: Vec<OneRoundKSet> =
-                ins.iter().map(|&v| OneRoundKSet::new(v)).collect();
+            let protos: Vec<OneRoundKSet> = ins.iter().map(|&v| OneRoundKSet::new(v)).collect();
             let mut det = ScriptedDetector::new(size, vec![round]);
             let report = Engine::new(size)
                 .run(protos, &mut det, &AnyPattern::new(size))

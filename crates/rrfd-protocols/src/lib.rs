@@ -22,11 +22,11 @@
 
 pub mod abd;
 pub mod adopt_commit;
-pub mod immediate_snapshot;
 pub mod detector_from_kset;
 pub mod diamond_s_consensus;
 pub mod early_stopping;
 pub mod equivalence;
+pub mod immediate_snapshot;
 pub mod kset;
 pub mod s_consensus;
 pub mod semi_sync_consensus;

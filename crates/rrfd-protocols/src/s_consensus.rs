@@ -83,10 +83,7 @@ mod tests {
         SystemSize::new(v).unwrap()
     }
 
-    fn run_consensus(
-        size: SystemSize,
-        detector: &mut dyn rrfd_core::FaultDetector,
-    ) -> Vec<Value> {
+    fn run_consensus(size: SystemSize, detector: &mut dyn rrfd_core::FaultDetector) -> Vec<Value> {
         let inputs: Vec<Value> = (0..size.get() as u64).map(|i| 300 + i).collect();
         let protos: Vec<_> = inputs
             .iter()
@@ -110,8 +107,7 @@ mod tests {
             for seed in 0..25u64 {
                 let mut adv = RandomAdversary::new(DetectorS::new(size), seed);
                 let decisions = run_consensus(size, &mut adv);
-                let outs: Vec<Option<Value>> =
-                    decisions.iter().map(|&d| Some(d)).collect();
+                let outs: Vec<Option<Value>> = decisions.iter().map(|&d| Some(d)).collect();
                 task.check_terminating(&inputs, &outs)
                     .unwrap_or_else(|v| panic!("n={nv} seed={seed}: {v}"));
             }
@@ -131,8 +127,7 @@ mod tests {
                 self.0
             }
             fn next_round(&mut self, _r: Round, _h: &FaultPattern) -> RoundFaults {
-                let bad =
-                    IdSet::universe(self.0) - IdSet::singleton(ProcessId::new(2));
+                let bad = IdSet::universe(self.0) - IdSet::singleton(ProcessId::new(2));
                 RoundFaults::from_sets(self.0, vec![bad; self.0.get()])
             }
         }

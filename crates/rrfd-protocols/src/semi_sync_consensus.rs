@@ -267,7 +267,10 @@ mod tests {
             .iter()
             .map(|o| o.as_ref().unwrap().0)
             .collect();
-        assert!(values.windows(2).all(|w| w[0] == w[1]), "consensus violated");
+        assert!(
+            values.windows(2).all(|w| w[0] == w[1]),
+            "consensus violated"
+        );
     }
 
     #[test]

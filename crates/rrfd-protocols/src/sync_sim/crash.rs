@@ -297,9 +297,7 @@ impl<P: RoundProtocol<Msg = Value>> MemProcess<SimCell> for CrashSim<P> {
                     bank: self.value_bank(),
                 }
             }
-            (Phase::ValueSnap, Observation::SnapshotView(view)) => {
-                self.on_value_snapshot(view)
-            }
+            (Phase::ValueSnap, Observation::SnapshotView(view)) => self.on_value_snapshot(view),
             (Phase::Ac { j, mut machine }, obs) => {
                 let ac_obs = match obs {
                     Observation::Written => AcObs::Written,
@@ -325,9 +323,9 @@ impl<P: RoundProtocol<Msg = Value>> MemProcess<SimCell> for CrashSim<P> {
                     self.next_after(j)
                 }
                 Some(_) => panic!("non-value cell in a value bank"),
-                None => unreachable!(
-                    "adopt-faulty guarantees an alive proposal, hence a written value"
-                ),
+                None => {
+                    unreachable!("adopt-faulty guarantees an alive proposal, hence a written value")
+                }
             },
             (Phase::Finished, _) => unreachable!("stepped after deciding"),
             (phase, obs) => unreachable!("observation {obs:?} in phase {phase:?}"),
@@ -440,11 +438,7 @@ where
     // Assemble the simulated pattern over the rounds every decider
     // completed (deciders all complete the same number: the inner
     // protocol's budget).
-    let logs: Vec<&[IdSet]> = report
-        .processes
-        .iter()
-        .map(CrashSim::fault_log)
-        .collect();
+    let logs: Vec<&[IdSet]> = report.processes.iter().map(CrashSim::fault_log).collect();
     let rounds_done = report
         .outputs
         .iter()
@@ -477,8 +471,7 @@ where
         pattern.push(RoundFaults::from_sets(n, sets));
     }
 
-    let crash_certified =
-        rrfd_models::predicates::Crash::new(n, f).admits_pattern(&pattern);
+    let crash_certified = rrfd_models::predicates::Crash::new(n, f).admits_pattern(&pattern);
 
     Ok(CrashSimReport {
         outputs,
@@ -524,9 +517,8 @@ mod tests {
                     .map(|v| FloodMin::new(v + 1, budget))
                     .collect();
                 let mut sched = RandomScheduler::new(seed, k).crash_prob(0.02);
-                let report =
-                    run_crash_simulation(size, k, f, budget, protos, &mut sched)
-                        .unwrap_or_else(|e| panic!("n={nv} f={f} k={k} seed={seed}: {e}"));
+                let report = run_crash_simulation(size, k, f, budget, protos, &mut sched)
+                    .unwrap_or_else(|e| panic!("n={nv} f={f} k={k} seed={seed}: {e}"));
                 assert!(
                     report.crash_certified,
                     "n={nv} f={f} k={k} seed={seed}: pattern {:?} not crash-legal",
@@ -549,17 +541,14 @@ mod tests {
         for seed in 0..15u64 {
             let protos: Vec<_> = inputs.iter().map(|&v| FloodMin::new(v, budget)).collect();
             let mut sched = RandomScheduler::new(seed, k - 1).crash_prob(0.02);
-            let report =
-                run_crash_simulation(size, k, f + k, budget, protos, &mut sched).unwrap();
+            let report = run_crash_simulation(size, k, f + k, budget, protos, &mut sched).unwrap();
             // Deciders not simulated-crashed must agree k-set-wise.
             let sim_crashed = report.pattern.cumulative_union();
             let outs: Vec<Option<Value>> = report
                 .outputs
                 .iter()
                 .enumerate()
-                .map(|(i, o)| {
-                    o.filter(|_| !sim_crashed.contains(ProcessId::new(i)))
-                })
+                .map(|(i, o)| o.filter(|_| !sim_crashed.contains(ProcessId::new(i))))
                 .collect();
             task.check(&inputs, &outs)
                 .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
@@ -573,13 +562,7 @@ mod tests {
         // computed bank count.
         let total = CrashSim::<crate::kset::FloodMin>::banks_needed(n, 3);
         assert_eq!(total, 3 * (1 + 8));
-        let mut sim = CrashSim::new(
-            ProcessId::new(0),
-            n,
-            1,
-            3,
-            crate::kset::FloodMin::new(0, 3),
-        );
+        let mut sim = CrashSim::new(ProcessId::new(0), n, 1, 3, crate::kset::FloodMin::new(0, 3));
         let mut seen = std::collections::BTreeSet::new();
         for _round in 0..3 {
             assert!(seen.insert(sim.value_bank()));

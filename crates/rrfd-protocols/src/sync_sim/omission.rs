@@ -85,9 +85,7 @@ mod tests {
             let size = n(nv);
             let budget = (f / k) as u32;
             for seed in 0..20u64 {
-                let protos: Vec<_> = (0..nv as u64)
-                    .map(|v| FloodMin::new(v, budget))
-                    .collect();
+                let protos: Vec<_> = (0..nv as u64).map(|v| FloodMin::new(v, budget)).collect();
                 let mut adv = RandomAdversary::new(Snapshot::new(size, k), seed);
                 let report = run_as_omission(size, f, k, protos, &mut adv)
                     .unwrap_or_else(|e| panic!("n={nv} f={f} k={k} seed={seed}: {e}"));

@@ -114,9 +114,7 @@ mod tests {
     fn waiters_wake_on_advance() {
         let clock = RoundClock::new();
         let observer = clock.clone();
-        let handle = thread::spawn(move || {
-            observer.wait_for_round(2, Duration::from_secs(5))
-        });
+        let handle = thread::spawn(move || observer.wait_for_round(2, Duration::from_secs(5)));
         clock.advance(1);
         clock.advance(2);
         assert!(handle.join().unwrap());
@@ -132,8 +130,7 @@ mod tests {
     fn finish_unblocks_everyone() {
         let clock = RoundClock::new();
         let observer = clock.clone();
-        let handle =
-            thread::spawn(move || observer.wait_finished(Duration::from_secs(5)));
+        let handle = thread::spawn(move || observer.wait_finished(Duration::from_secs(5)));
         clock.finish();
         assert!(handle.join().unwrap());
         // A round-waiter past the end sees "not reached" but returns.

@@ -16,4 +16,4 @@ mod clock;
 mod threaded;
 
 pub use clock::RoundClock;
-pub use threaded::{ThreadedEngine, ThreadedError, ThreadedReport};
+pub use threaded::{RunError, ThreadedEngine, ThreadedError, ThreadedReport};

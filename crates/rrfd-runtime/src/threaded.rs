@@ -13,11 +13,11 @@
 //! experiment E13 runs Theorem 3.1 end to end on threads.
 
 use crossbeam::channel::{self, Receiver, Sender};
-use rrfd_core::{
-    Control, Delivery, FaultPattern, IdSet, PatternViolation, ProcessId, Round,
-    RoundProtocol, RrfdPredicate, SystemSize,
-};
 use rrfd_core::{validate_round, FaultDetector};
+use rrfd_core::{
+    Control, Delivery, FaultPattern, IdSet, PatternViolation, ProcessId, Round, RoundProtocol,
+    RrfdPredicate, RunTrace, SystemSize, TraceBuilder, TraceOutcome,
+};
 use std::fmt;
 use std::thread;
 
@@ -63,12 +63,27 @@ pub enum ThreadedError {
         /// The configured limit.
         max_rounds: u32,
     },
-    /// A process thread disconnected unexpectedly (it panicked).
+    /// A process thread disconnected unexpectedly with no panic payload
+    /// recovered from its join handle.
     ProcessDied {
         /// The dead process.
         process: ProcessId,
     },
+    /// A process thread panicked; the payload was captured at join time.
+    ProcessPanicked {
+        /// The panicking process.
+        process: ProcessId,
+        /// The panic message (or a placeholder for non-string payloads).
+        message: String,
+    },
+    /// Every emission sender disconnected at once with no identifiable
+    /// missing process — the coordinator's channel is simply gone.
+    ChannelClosed,
 }
+
+/// The error type of threaded runs; alias of [`ThreadedError`] for callers
+/// that speak in terms of "run errors".
+pub type RunError = ThreadedError;
 
 impl fmt::Display for ThreadedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -82,6 +97,15 @@ impl fmt::Display for ThreadedError {
             }
             ThreadedError::ProcessDied { process } => {
                 write!(f, "thread of {process} terminated unexpectedly")
+            }
+            ThreadedError::ProcessPanicked { process, message } => {
+                write!(f, "thread of {process} panicked: {message}")
+            }
+            ThreadedError::ChannelClosed => {
+                write!(
+                    f,
+                    "emission channel closed with no identifiable dead process"
+                )
             }
         }
     }
@@ -116,6 +140,12 @@ impl<O: Clone> ThreadedReport<O> {
             .collect()
     }
 }
+
+/// How long the coordinator waits for a round's emissions before declaring
+/// a process dead. Generous: in a healthy run every thread answers in
+/// microseconds; the timeout exists only to turn a dead or wedged thread
+/// into a typed error instead of a deadlock.
+const GATHER_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 
 /// The threaded engine: one OS thread per process plus the caller's thread
 /// as coordinator.
@@ -194,12 +224,35 @@ impl ThreadedEngine {
         D: FaultDetector + ?Sized,
         Q: RrfdPredicate + ?Sized,
     {
+        self.run_traced(protocols, detector, model).0
+    }
+
+    /// Like [`ThreadedEngine::run`], but also records a [`RunTrace`]: the
+    /// same capture format as the in-process engine, so a threaded run can
+    /// be replayed (bit-for-bit, via a replay detector) on either substrate.
+    pub fn run_traced<P, D, Q>(
+        &self,
+        protocols: Vec<P>,
+        detector: &mut D,
+        model: &Q,
+    ) -> (Result<ThreadedReport<P::Output>, ThreadedError>, RunTrace)
+    where
+        P: RoundProtocol + Send + 'static,
+        P::Msg: Send + 'static,
+        P::Output: Send + Clone + 'static,
+        D: FaultDetector + ?Sized,
+        Q: RrfdPredicate + ?Sized,
+    {
         let n = self.n.get();
+        let mut trace = TraceBuilder::new(self.n);
         if protocols.len() != n {
-            return Err(ThreadedError::WrongProcessCount {
-                supplied: protocols.len(),
-                expected: n,
-            });
+            return (
+                Err(ThreadedError::WrongProcessCount {
+                    supplied: protocols.len(),
+                    expected: n,
+                }),
+                trace.finish(TraceOutcome::Aborted),
+            );
         }
 
         let (emit_tx, emit_rx): EmissionChannel<P::Msg, P::Output> = channel::unbounded();
@@ -251,26 +304,64 @@ impl ThreadedEngine {
         }
         drop(emit_tx);
 
-        let result = self.coordinate::<P>(&emit_rx, &reply_txs, detector, model);
+        let (result, outcome) =
+            self.coordinate::<P>(&emit_rx, &reply_txs, detector, model, &mut trace);
 
         // Stop every thread (ignore send failures: thread may be gone).
         for tx in &reply_txs {
             let _ = tx.send(CoordReply::Stop);
         }
-        for handle in handles {
-            let _ = handle.join();
+        // Joining surfaces panic payloads instead of swallowing them: a
+        // thread that died from a panic turns the channel-level symptom
+        // (ProcessDied / ChannelClosed) into a ProcessPanicked cause.
+        let mut panics: Vec<Option<String>> = (0..n).map(|_| None).collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            if let Err(payload) = handle.join() {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                panics[i] = Some(message);
+            }
         }
+        let result = match result {
+            Err(ThreadedError::ProcessDied { process }) => match panics[process.index()].take() {
+                Some(message) => Err(ThreadedError::ProcessPanicked { process, message }),
+                None => Err(ThreadedError::ProcessDied { process }),
+            },
+            Err(ThreadedError::ChannelClosed) => {
+                match panics
+                    .iter_mut()
+                    .enumerate()
+                    .find_map(|(i, p)| p.take().map(|m| (ProcessId::new(i), m)))
+                {
+                    Some((process, message)) => {
+                        Err(ThreadedError::ProcessPanicked { process, message })
+                    }
+                    None => Err(ThreadedError::ChannelClosed),
+                }
+            }
+            other => other,
+        };
         self.clock.finish();
-        result
+        (result, trace.finish(outcome))
     }
 
+    /// Runs the coordinator loop. Returns the run result plus the trace
+    /// outcome to seal the recorded trace with (the builder itself is
+    /// filled in as rounds execute).
     fn coordinate<P>(
         &self,
         emit_rx: &Receiver<Emission<P::Msg, P::Output>>,
         reply_txs: &[Sender<CoordReply<P::Msg>>],
         detector: &mut (impl FaultDetector + ?Sized),
         model: &(impl RrfdPredicate + ?Sized),
-    ) -> Result<ThreadedReport<P::Output>, ThreadedError>
+        trace: &mut TraceBuilder,
+    ) -> (
+        Result<ThreadedReport<P::Output>, ThreadedError>,
+        TraceOutcome,
+    )
     where
         P: RoundProtocol,
         P::Output: Clone,
@@ -285,34 +376,62 @@ impl ThreadedEngine {
             // Gather every process's emission for this round.
             let mut messages: Vec<Option<P::Msg>> = (0..n).map(|_| None).collect();
             for _ in 0..n {
-                let emission = emit_rx.recv().map_err(|_| {
-                    let dead = messages
-                        .iter()
-                        .position(Option::is_none)
-                        .map(ProcessId::new)
-                        .expect("some process is missing");
-                    ThreadedError::ProcessDied { process: dead }
-                })?;
+                // A plain `recv` would deadlock if one thread dies while its
+                // peers stay alive (their sender clones keep the channel
+                // open), so bound the wait. The timeout only fires when a
+                // thread is genuinely gone or wedged.
+                let emission = match emit_rx.recv_timeout(GATHER_TIMEOUT) {
+                    Ok(emission) => emission,
+                    Err(_) => {
+                        // A process whose emission is still missing this
+                        // round is the dead one; if all slots are somehow
+                        // filled, report the closed channel itself rather
+                        // than guessing.
+                        let error = match messages
+                            .iter()
+                            .position(Option::is_none)
+                            .map(ProcessId::new)
+                        {
+                            Some(process) => ThreadedError::ProcessDied { process },
+                            None => ThreadedError::ChannelClosed,
+                        };
+                        return (Err(error), TraceOutcome::Aborted);
+                    }
+                };
                 debug_assert_eq!(emission.round, round, "lock-step protocol violated");
                 if let Some(v) = emission.decided {
                     // Decision reached in the previous round's deliver.
-                    decisions[emission.from.index()]
-                        .get_or_insert((v, Round::new(round_no - 1)));
+                    if decisions[emission.from.index()].is_none() {
+                        let decided_at = Round::new(round_no - 1);
+                        decisions[emission.from.index()] = Some((v, decided_at));
+                        trace.record_decision(emission.from, decided_at);
+                    }
                 }
                 messages[emission.from.index()] = Some(emission.msg);
             }
 
             if round_no > 1 && decisions.iter().all(Option::is_some) {
-                return Ok(ThreadedReport {
-                    decisions,
-                    pattern,
-                    rounds_executed: round_no - 1,
-                });
+                let rounds_executed = round_no - 1;
+                return (
+                    Ok(ThreadedReport {
+                        decisions,
+                        pattern,
+                        rounds_executed,
+                    }),
+                    TraceOutcome::Decided { rounds_executed },
+                );
             }
 
             let faults = detector.next_round(round, &pattern);
-            validate_round(model, &pattern, &faults)?;
+            if let Err(violation) = validate_round(model, &pattern, &faults) {
+                trace.record_violating_round(faults);
+                return (
+                    Err(violation.clone().into()),
+                    TraceOutcome::Violation(violation),
+                );
+            }
 
+            let mut heard = Vec::with_capacity(n);
             for (i, reply_tx) in reply_txs.iter().enumerate() {
                 let me = ProcessId::new(i);
                 let suspected = faults.of(me);
@@ -325,6 +444,14 @@ impl ThreadedEngine {
                         }
                     })
                     .collect();
+                heard.push(
+                    received
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| m.is_some())
+                        .map(|(j, _)| ProcessId::new(j))
+                        .collect::<IdSet>(),
+                );
                 if reply_tx
                     .send(CoordReply::Delivery {
                         round,
@@ -333,10 +460,14 @@ impl ThreadedEngine {
                     })
                     .is_err()
                 {
-                    return Err(ThreadedError::ProcessDied { process: me });
+                    return (
+                        Err(ThreadedError::ProcessDied { process: me }),
+                        TraceOutcome::Aborted,
+                    );
                 }
             }
 
+            trace.record_round(faults.clone(), heard);
             pattern.push(faults);
             self.clock.advance(round_no);
         }
@@ -350,28 +481,38 @@ impl ThreadedEngine {
             // Every live thread already sent its next emission before
             // blocking on the reply; the timeout only fires if a thread
             // died, in which case the round-limit error below stands.
-            let Ok(emission) =
-                emit_rx.recv_timeout(std::time::Duration::from_secs(5))
-            else {
+            let Ok(emission) = emit_rx.recv_timeout(GATHER_TIMEOUT) else {
                 break;
             };
             gathered += 1;
             if let Some(v) = emission.decided {
-                decisions[emission.from.index()]
-                    .get_or_insert((v, Round::new(self.max_rounds)));
+                if decisions[emission.from.index()].is_none() {
+                    let decided_at = Round::new(self.max_rounds);
+                    decisions[emission.from.index()] = Some((v, decided_at));
+                    trace.record_decision(emission.from, decided_at);
+                }
             }
         }
         if decisions.iter().all(Option::is_some) {
-            return Ok(ThreadedReport {
-                decisions,
-                pattern,
-                rounds_executed: self.max_rounds,
-            });
+            let rounds_executed = self.max_rounds;
+            return (
+                Ok(ThreadedReport {
+                    decisions,
+                    pattern,
+                    rounds_executed,
+                }),
+                TraceOutcome::Decided { rounds_executed },
+            );
         }
 
-        Err(ThreadedError::RoundLimitExceeded {
-            max_rounds: self.max_rounds,
-        })
+        (
+            Err(ThreadedError::RoundLimitExceeded {
+                max_rounds: self.max_rounds,
+            }),
+            TraceOutcome::RoundLimit {
+                max_rounds: self.max_rounds,
+            },
+        )
     }
 }
 
@@ -458,8 +599,7 @@ mod tests {
             let report = ThreadedEngine::new(size)
                 .run(protos, &mut adv, &model)
                 .unwrap();
-            let mut distinct: Vec<u64> =
-                report.outputs().into_iter().flatten().collect();
+            let mut distinct: Vec<u64> = report.outputs().into_iter().flatten().collect();
             distinct.sort_unstable();
             distinct.dedup();
             assert!(distinct.len() <= k, "seed {seed}");
@@ -538,6 +678,104 @@ mod tests {
             .run(protos, &mut NoFailures::new(size), &AnyPattern::new(size))
             .unwrap_err();
         assert!(matches!(err, ThreadedError::RoundLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn trace_matches_the_in_process_engine() {
+        // The same protocol and the same deterministic adversary must
+        // produce byte-identical traces on both substrates: that equality
+        // is what makes cross-substrate replay meaningful.
+        let size = n(5);
+        let model = KUncertainty::new(size, 2);
+        let build = || {
+            (0..5)
+                .map(|i| SumAfter {
+                    rounds: 4,
+                    acc: 0,
+                    me: i as u64 + 1,
+                })
+                .collect::<Vec<_>>()
+        };
+        for seed in 0..5u64 {
+            let (threaded, threaded_trace) = ThreadedEngine::new(size).run_traced(
+                build(),
+                &mut RandomAdversary::new(model, seed),
+                &model,
+            );
+            let (inproc, inproc_trace) = rrfd_core::Engine::new(size).run_traced(
+                build(),
+                &mut RandomAdversary::new(model, seed),
+                &model,
+            );
+            assert_eq!(threaded_trace, inproc_trace, "seed {seed}");
+            assert_eq!(
+                threaded_trace.to_string(),
+                inproc_trace.to_string(),
+                "seed {seed}"
+            );
+            let threaded = threaded.unwrap();
+            let inproc = inproc.unwrap();
+            assert_eq!(threaded.outputs(), inproc.outputs(), "seed {seed}");
+            assert_eq!(threaded.pattern, inproc.pattern, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn traced_run_serializes_and_parses_back() {
+        let size = n(3);
+        let protos: Vec<_> = (0..3)
+            .map(|i| SumAfter {
+                rounds: 2,
+                acc: 0,
+                me: i,
+            })
+            .collect();
+        let (report, trace) = ThreadedEngine::new(size).run_traced(
+            protos,
+            &mut NoFailures::new(size),
+            &AnyPattern::new(size),
+        );
+        let report = report.unwrap();
+        assert_eq!(trace.pattern(), report.pattern);
+        let reparsed: RunTrace = trace.to_string().parse().unwrap();
+        assert_eq!(reparsed, trace);
+    }
+
+    #[test]
+    fn panicking_process_is_reported_with_its_message() {
+        struct PanicsInRound2 {
+            me: u64,
+        }
+        impl RoundProtocol for PanicsInRound2 {
+            type Msg = u64;
+            type Output = u64;
+            fn emit(&mut self, _r: Round) -> u64 {
+                self.me
+            }
+            fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
+                if d.round.get() >= 2 && d.me == ProcessId::new(1) {
+                    panic!("protocol bug in round 2");
+                }
+                Control::Continue
+            }
+        }
+
+        let size = n(3);
+        let protos: Vec<_> = (0..3).map(|i| PanicsInRound2 { me: i }).collect();
+        let (result, trace) = ThreadedEngine::new(size).max_rounds(10).run_traced(
+            protos,
+            &mut NoFailures::new(size),
+            &AnyPattern::new(size),
+        );
+        let err = result.unwrap_err();
+        match err {
+            ThreadedError::ProcessPanicked { process, message } => {
+                assert_eq!(process, ProcessId::new(1));
+                assert!(message.contains("protocol bug in round 2"), "{message}");
+            }
+            other => panic!("expected ProcessPanicked, got {other}"),
+        }
+        assert_eq!(*trace.outcome(), TraceOutcome::Aborted);
     }
 
     #[test]

@@ -126,7 +126,10 @@ impl fmt::Display for NetSimError {
                 write!(f, "no full decision after {max_deliveries} deliveries")
             }
             NetSimError::WrongProcessCount { supplied, expected } => {
-                write!(f, "{supplied} processes supplied for a system of {expected}")
+                write!(
+                    f,
+                    "{supplied} processes supplied for a system of {expected}"
+                )
             }
         }
     }
@@ -246,21 +249,21 @@ impl AsyncNetSim {
         }
 
         // channels[from][to]: FIFO queue.
-        let mut channels: Vec<Vec<VecDeque<P::Msg>>> =
-            (0..n).map(|_| (0..n).map(|_| VecDeque::new()).collect()).collect();
+        let mut channels: Vec<Vec<VecDeque<P::Msg>>> = (0..n)
+            .map(|_| (0..n).map(|_| VecDeque::new()).collect())
+            .collect();
         let mut outputs: Vec<Option<P::Output>> = vec![None; n];
         let mut crashed = IdSet::empty();
         let mut deliveries = 0u64;
         let mut events = 0u64;
         let event_limit = self.max_deliveries.saturating_mul(4).saturating_add(1024);
 
-        let flush = |out: Outbox<P::Msg>,
-                         from: ProcessId,
-                         channels: &mut Vec<Vec<VecDeque<P::Msg>>>| {
-            for (to, msg) in out.sends {
-                channels[from.index()][to.index()].push_back(msg);
-            }
-        };
+        let flush =
+            |out: Outbox<P::Msg>, from: ProcessId, channels: &mut Vec<Vec<VecDeque<P::Msg>>>| {
+                for (to, msg) in out.sends {
+                    channels[from.index()][to.index()].push_back(msg);
+                }
+            };
 
         for (i, proc_) in processes.iter_mut().enumerate() {
             let mut out = Outbox::new(self.n);
@@ -269,8 +272,8 @@ impl AsyncNetSim {
         }
 
         loop {
-            let all_done = (0..n)
-                .all(|i| outputs[i].is_some() || crashed.contains(ProcessId::new(i)));
+            let all_done =
+                (0..n).all(|i| outputs[i].is_some() || crashed.contains(ProcessId::new(i)));
             if all_done {
                 return Ok(NetRunReport {
                     outputs,
@@ -316,8 +319,7 @@ impl AsyncNetSim {
                     };
                     deliveries += 1;
                     let mut out = Outbox::new(self.n);
-                    let verdict =
-                        processes[to.index()].on_message(deliveries, from, msg, &mut out);
+                    let verdict = processes[to.index()].on_message(deliveries, from, msg, &mut out);
                     flush(out, to, &mut channels);
                     if let Control::Decide(v) = verdict {
                         outputs[to.index()].get_or_insert(v);

@@ -15,7 +15,7 @@
 
 use crate::async_net::{AsyncProcess, Outbox};
 use rrfd_core::{
-    Control, Delivery, IdSet, ProcessId, Round, RoundProtocol, RoundFaults, SystemSize,
+    Control, Delivery, IdSet, ProcessId, Round, RoundFaults, RoundProtocol, SystemSize,
 };
 use std::collections::BTreeMap;
 
@@ -158,7 +158,10 @@ impl<P: RoundProtocol> AsyncProcess for RoundedAsync<P> {
                 self.current[from.index()] = Some(msg.payload);
             }
             Ordering::Greater => {
-                self.early.entry(msg.round).or_default().push((from, msg.payload));
+                self.early
+                    .entry(msg.round)
+                    .or_default()
+                    .push((from, msg.payload));
             }
         }
         self.try_advance(out)
@@ -346,5 +349,4 @@ mod tests {
             assert!(rf.union().is_empty());
         }
     }
-
 }

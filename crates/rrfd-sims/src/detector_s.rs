@@ -19,9 +19,7 @@
 use rand::rngs::StdRng;
 use rand::seq::IteratorRandom;
 use rand::{Rng, SeedableRng};
-use rrfd_core::{
-    FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundFaults, SystemSize,
-};
+use rrfd_core::{FaultDetector, FaultPattern, IdSet, ProcessId, Round, RoundFaults, SystemSize};
 
 /// A crash schedule plus an S-style unreliable suspicion source.
 #[derive(Debug, Clone)]
@@ -75,8 +73,7 @@ impl SAugmentedSystem {
         let crash_round = n
             .processes()
             .map(|p| {
-                (p != immortal && rng.gen_bool(0.5))
-                    .then(|| Round::new(rng.gen_range(1..=horizon)))
+                (p != immortal && rng.gen_bool(0.5)).then(|| Round::new(rng.gen_range(1..=horizon)))
             })
             .collect();
         SAugmentedSystem {
@@ -135,16 +132,14 @@ impl FaultDetector for SAugmentedSystem {
 #[must_use]
 pub fn random_immortal(n: SystemSize, seed: u64) -> ProcessId {
     let mut rng = StdRng::seed_from_u64(seed);
-    n.processes()
-        .choose(&mut rng)
-        .expect("non-empty system")
+    n.processes().choose(&mut rng).expect("non-empty system")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rrfd_models::predicates::DetectorS;
     use rrfd_core::validate_round;
+    use rrfd_models::predicates::DetectorS;
 
     fn n(v: usize) -> SystemSize {
         SystemSize::new(v).unwrap()
@@ -165,9 +160,7 @@ mod tests {
                 );
                 history.push(round);
             }
-            assert!(!history
-                .cumulative_union()
-                .contains(sys.immortal()));
+            assert!(!history.cumulative_union().contains(sys.immortal()));
         }
     }
 

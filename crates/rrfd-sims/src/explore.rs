@@ -7,9 +7,18 @@
 //! outcome to a checker. This turns sampled "holds under 50 seeds" tests
 //! into genuine proofs-by-enumeration for two- and three-process
 //! instances — the adopt-commit and immediate-snapshot test-suites use it.
+//!
+//! Every decision sequence visited is also recorded as a
+//! [`ScheduleTrace`]; when a check fails, the walker hands back a
+//! [`Counterexample`] whose serialized schedule can be re-driven verbatim
+//! through [`crate::trace::ScheduleReplay`] — no need to re-enumerate the
+//! tree to get back to the failing run.
 
 use crate::shared_mem::{MemEvent, MemProcess, MemRunReport, MemScheduler, SharedMemSim};
+use crate::trace::{Recording, SchedEvent, ScheduleTrace};
 use rrfd_core::IdSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A scheduler that replays a fixed choice prefix (indices into the sorted
 /// runnable set) and picks the first runnable process beyond it, recording
@@ -30,18 +39,119 @@ impl MemScheduler for ReplayScheduler<'_> {
     }
 }
 
+/// A failing schedule found during exploration: the walker's raw decision
+/// indices, the concrete event sequence they produced (replayable through
+/// [`crate::trace::ScheduleReplay`]), and the checker's complaint.
+#[derive(Debug, Clone)]
+pub struct Counterexample<E> {
+    /// Decision indices into each choice point's option list.
+    pub choices: Vec<usize>,
+    /// The concrete schedule, serializable and replayable.
+    pub schedule: ScheduleTrace<E>,
+    /// What the checker reported.
+    pub message: String,
+}
+
+impl<E: SchedEvent> fmt::Display for Counterexample<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule check failed: {}", self.message)?;
+        writeln!(f, "scheduler choices: {:?}", self.choices)?;
+        write!(f, "replayable schedule:\n{}", self.schedule)
+    }
+}
+
+/// Converts a caught panic payload into a displayable message.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
 /// Enumerates every schedule of `sim` over fresh processes from `make`,
 /// invoking `check` on each completed run. Returns the number of schedules
-/// explored.
+/// explored, or the first failing schedule as a replayable
+/// [`Counterexample`].
 ///
 /// The walk is exhaustive: every sequence of "which runnable process steps
 /// next" choices is visited exactly once. Use only on small instances —
 /// the tree is exponential in the total step count.
 ///
+/// # Errors
+///
+/// The first schedule whose `check` returns `Err` stops the walk and is
+/// returned as a [`Counterexample`].
+///
 /// # Panics
 ///
 /// Panics if the exploration exceeds `max_runs` schedules (a guard against
 /// accidentally exponential instances), or propagates panics from `check`.
+pub fn explore_schedules_checked<V, P, F, G>(
+    sim: &SharedMemSim,
+    make: G,
+    mut check: F,
+    max_runs: usize,
+) -> Result<usize, Box<Counterexample<MemEvent>>>
+where
+    V: Clone,
+    P: MemProcess<V>,
+    G: Fn() -> Vec<P>,
+    F: FnMut(&MemRunReport<P, V>) -> Result<(), String>,
+{
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut runs = 0usize;
+    loop {
+        let mut scheduler = Recording::new(ReplayScheduler {
+            prefix: &prefix,
+            cursor: 0,
+            branching: Vec::new(),
+        });
+        let report = sim
+            .run(make(), &mut scheduler)
+            .expect("exploration requires terminating, crash-free protocols");
+        runs += 1;
+        assert!(
+            runs <= max_runs,
+            "schedule exploration exceeded {max_runs} runs"
+        );
+        let (inner, schedule) = scheduler.into_parts();
+        let branching = inner.branching;
+        let full: Vec<usize> = branching
+            .iter()
+            .enumerate()
+            .map(|(i, _)| prefix.get(i).copied().unwrap_or(0))
+            .collect();
+
+        if let Err(message) = check(&report) {
+            return Err(Box::new(Counterexample {
+                choices: full,
+                schedule,
+                message,
+            }));
+        }
+
+        // Advance the prefix: find the deepest decision that can still be
+        // incremented; truncate everything after it.
+        let mut full = full;
+        let Some(bump) = (0..full.len()).rev().find(|&i| full[i] + 1 < branching[i]) else {
+            return Ok(runs);
+        };
+        full[bump] += 1;
+        full.truncate(bump + 1);
+        prefix = full;
+    }
+}
+
+/// Panicking front-end to [`explore_schedules_checked`]: `check` signals
+/// failure by panicking (e.g. `assert!`), and the panic is re-raised with
+/// the failing schedule appended, so a test log always carries a
+/// replayable trace. Returns the number of schedules explored.
+///
+/// # Panics
+///
+/// Panics if the exploration exceeds `max_runs` schedules, or re-raises
+/// `check` panics annotated with the [`Counterexample`].
 pub fn explore_schedules<V, P, F, G>(
     sim: &SharedMemSim,
     make: G,
@@ -54,41 +164,14 @@ where
     G: Fn() -> Vec<P>,
     F: FnMut(&MemRunReport<P, V>),
 {
-    let mut prefix: Vec<usize> = Vec::new();
-    let mut runs = 0usize;
-    loop {
-        let mut scheduler = ReplayScheduler {
-            prefix: &prefix,
-            cursor: 0,
-            branching: Vec::new(),
-        };
-        let report = sim
-            .run(make(), &mut scheduler)
-            .expect("exploration requires terminating, crash-free protocols");
-        runs += 1;
-        assert!(
-            runs <= max_runs,
-            "schedule exploration exceeded {max_runs} runs"
-        );
-        check(&report);
-
-        // Advance the prefix: find the deepest decision that can still be
-        // incremented; truncate everything after it.
-        let branching = scheduler.branching;
-        let mut full: Vec<usize> = branching
-            .iter()
-            .enumerate()
-            .map(|(i, _)| prefix.get(i).copied().unwrap_or(0))
-            .collect();
-        let Some(bump) = (0..full.len())
-            .rev()
-            .find(|&i| full[i] + 1 < branching[i])
-        else {
-            return runs;
-        };
-        full[bump] += 1;
-        full.truncate(bump + 1);
-        prefix = full;
+    match explore_schedules_checked(
+        sim,
+        make,
+        |report| catch_unwind(AssertUnwindSafe(|| check(report))).map_err(payload_message),
+        max_runs,
+    ) {
+        Ok(runs) => runs,
+        Err(cex) => panic!("{cex}"),
     }
 }
 
@@ -97,9 +180,11 @@ where
 /// live process and, while `crash_budget` allows, crashing each live
 /// process.
 pub mod semi_sync {
+    use super::{catch_unwind, payload_message, AssertUnwindSafe, Counterexample};
     use crate::semi_sync::{
         SemiSyncEvent, SemiSyncProcess, SemiSyncReport, SemiSyncScheduler, SemiSyncSim,
     };
+    use crate::trace::Recording;
     use rrfd_core::IdSet;
 
     struct Replay<'a> {
@@ -113,8 +198,7 @@ pub mod semi_sync {
         /// Options at a decision point: step each live process, then (if
         /// budget remains and more than one process is live) crash each.
         fn options(&self, live: IdSet) -> Vec<SemiSyncEvent> {
-            let mut opts: Vec<SemiSyncEvent> =
-                live.iter().map(SemiSyncEvent::Step).collect();
+            let mut opts: Vec<SemiSyncEvent> = live.iter().map(SemiSyncEvent::Step).collect();
             if self.crash_budget > 0 && live.len() > 1 {
                 opts.extend(live.iter().map(SemiSyncEvent::Crash));
             }
@@ -138,11 +222,80 @@ pub mod semi_sync {
 
     /// Enumerates every semi-synchronous schedule (with up to
     /// `max_crashes` crashes at adversarially chosen instants), checking
-    /// each completed run. Returns the number of schedules explored.
+    /// each completed run. Returns the number of schedules explored, or
+    /// the first failing schedule as a replayable [`Counterexample`].
+    ///
+    /// # Errors
+    ///
+    /// The first schedule whose `check` returns `Err` stops the walk and
+    /// is returned as a [`Counterexample`].
     ///
     /// # Panics
     ///
-    /// Panics past `max_runs` schedules, or propagates `check` panics.
+    /// Panics past `max_runs` schedules.
+    pub fn explore_semi_sync_checked<P, F, G>(
+        sim: &SemiSyncSim,
+        max_crashes: usize,
+        make: G,
+        mut check: F,
+        max_runs: usize,
+    ) -> Result<usize, Box<Counterexample<SemiSyncEvent>>>
+    where
+        P: SemiSyncProcess,
+        G: Fn() -> Vec<P>,
+        F: FnMut(&SemiSyncReport<P>) -> Result<(), String>,
+    {
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut runs = 0usize;
+        loop {
+            let mut scheduler = Recording::new(Replay {
+                prefix: &prefix,
+                cursor: 0,
+                branching: Vec::new(),
+                crash_budget: max_crashes,
+            });
+            let report = sim
+                .run(make(), &mut scheduler)
+                .expect("exploration requires terminating protocols");
+            runs += 1;
+            assert!(
+                runs <= max_runs,
+                "schedule exploration exceeded {max_runs} runs"
+            );
+            let (inner, schedule) = scheduler.into_parts();
+            let branching = inner.branching;
+            let full: Vec<usize> = branching
+                .iter()
+                .enumerate()
+                .map(|(i, _)| prefix.get(i).copied().unwrap_or(0))
+                .collect();
+
+            if let Err(message) = check(&report) {
+                return Err(Box::new(Counterexample {
+                    choices: full,
+                    schedule,
+                    message,
+                }));
+            }
+
+            let mut full = full;
+            let Some(bump) = (0..full.len()).rev().find(|&i| full[i] + 1 < branching[i]) else {
+                return Ok(runs);
+            };
+            full[bump] += 1;
+            full.truncate(bump + 1);
+            prefix = full;
+        }
+    }
+
+    /// Panicking front-end to [`explore_semi_sync_checked`]: `check`
+    /// panics on failure and the panic is re-raised with the failing
+    /// schedule appended. Returns the number of schedules explored.
+    ///
+    /// # Panics
+    ///
+    /// Panics past `max_runs` schedules, or re-raises `check` panics
+    /// annotated with the [`Counterexample`].
     pub fn explore_semi_sync<P, F, G>(
         sim: &SemiSyncSim,
         max_crashes: usize,
@@ -155,40 +308,15 @@ pub mod semi_sync {
         G: Fn() -> Vec<P>,
         F: FnMut(&SemiSyncReport<P>),
     {
-        let mut prefix: Vec<usize> = Vec::new();
-        let mut runs = 0usize;
-        loop {
-            let mut scheduler = Replay {
-                prefix: &prefix,
-                cursor: 0,
-                branching: Vec::new(),
-                crash_budget: max_crashes,
-            };
-            let report = sim
-                .run(make(), &mut scheduler)
-                .expect("exploration requires terminating protocols");
-            runs += 1;
-            assert!(
-                runs <= max_runs,
-                "schedule exploration exceeded {max_runs} runs"
-            );
-            check(&report);
-
-            let branching = scheduler.branching;
-            let mut full: Vec<usize> = branching
-                .iter()
-                .enumerate()
-                .map(|(i, _)| prefix.get(i).copied().unwrap_or(0))
-                .collect();
-            let Some(bump) = (0..full.len())
-                .rev()
-                .find(|&i| full[i] + 1 < branching[i])
-            else {
-                return runs;
-            };
-            full[bump] += 1;
-            full.truncate(bump + 1);
-            prefix = full;
+        match explore_semi_sync_checked(
+            sim,
+            max_crashes,
+            make,
+            |report| catch_unwind(AssertUnwindSafe(|| check(report))).map_err(payload_message),
+            max_runs,
+        ) {
+            Ok(runs) => runs,
+            Err(cex) => panic!("{cex}"),
         }
     }
 }
@@ -223,29 +351,27 @@ mod tests {
         }
     }
 
+    fn make_pair() -> Vec<WriteRead> {
+        vec![
+            WriteRead {
+                me: ProcessId::new(0),
+            },
+            WriteRead {
+                me: ProcessId::new(1),
+            },
+        ]
+    }
+
     #[test]
     fn enumerates_all_interleavings_of_two_three_step_processes() {
         let n = SystemSize::new(2).unwrap();
         let sim = SharedMemSim::new(n, 1);
-        let make = || {
-            vec![
-                WriteRead {
-                    me: ProcessId::new(0),
-                },
-                WriteRead {
-                    me: ProcessId::new(1),
-                },
-            ]
-        };
         let mut outcomes = std::collections::BTreeSet::new();
         let runs = explore_schedules(
             &sim,
-            make,
+            make_pair,
             |report| {
-                outcomes.insert((
-                    report.outputs[0].unwrap(),
-                    report.outputs[1].unwrap(),
-                ));
+                outcomes.insert((report.outputs[0].unwrap(), report.outputs[1].unwrap()));
             },
             1000,
         );
@@ -288,16 +414,137 @@ mod tests {
     fn run_guard_fires() {
         let n = SystemSize::new(2).unwrap();
         let sim = SharedMemSim::new(n, 1);
+        let _ = explore_schedules(&sim, make_pair, |_| {}, 5);
+    }
+
+    #[test]
+    fn counterexample_is_replayable() {
+        use crate::trace::ScheduleReplay;
+
+        let n = SystemSize::new(2).unwrap();
+        let sim = SharedMemSim::new(n, 1);
+        // "Nobody misses the other's write" is false; the walker must find
+        // a schedule where p0 reads before p1 writes (or vice versa).
+        let cex = explore_schedules_checked(
+            &sim,
+            make_pair,
+            |report| {
+                if report.outputs.iter().any(|o| o == &Some(None)) {
+                    Err("someone missed the other's write".to_owned())
+                } else {
+                    Ok(())
+                }
+            },
+            1000,
+        )
+        .unwrap_err();
+
+        // The serialized schedule replays to the same failing outcome.
+        let text = cex.schedule.to_string();
+        let reparsed: crate::trace::ScheduleTrace<MemEvent> = text.parse().unwrap();
+        let mut replay = ScheduleReplay::from_trace(&reparsed);
+        let report = sim.run(make_pair(), &mut replay).unwrap();
+        assert!(report.outputs.iter().any(|o| o == &Some(None)));
+
+        // And the Display form carries both the message and the schedule.
+        let shown = cex.to_string();
+        assert!(
+            shown.contains("someone missed the other's write"),
+            "{shown}"
+        );
+        assert!(shown.contains("rrfd-sched v1"), "{shown}");
+    }
+
+    #[test]
+    fn failing_check_panics_with_the_schedule_attached() {
+        let n = SystemSize::new(2).unwrap();
+        let sim = SharedMemSim::new(n, 1);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            explore_schedules(
+                &sim,
+                make_pair,
+                |report| {
+                    assert!(
+                        !report.outputs.iter().any(|o| o == &Some(None)),
+                        "someone missed the other's write"
+                    );
+                },
+                1000,
+            )
+        }))
+        .unwrap_err();
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a formatted message");
+        assert!(
+            message.contains("someone missed the other's write"),
+            "{message}"
+        );
+        assert!(message.contains("replayable schedule:"), "{message}");
+        assert!(message.contains("rrfd-sched v1"), "{message}");
+    }
+
+    #[test]
+    fn semi_sync_counterexample_is_replayable() {
+        use crate::semi_sync::{SemiSyncProcess, SemiSyncSim};
+        use crate::trace::ScheduleReplay;
+        use rrfd_core::Control;
+
+        /// Broadcasts once, decides after two steps on how many distinct
+        /// senders it heard.
+        #[derive(Debug)]
+        struct Listen {
+            steps: u64,
+            heard: rrfd_core::IdSet,
+            sent: bool,
+        }
+        impl SemiSyncProcess for Listen {
+            type Msg = ();
+            type Output = usize;
+            fn step(&mut self, received: &[(ProcessId, ())]) -> (Option<()>, Control<usize>) {
+                self.steps += 1;
+                for &(from, ()) in received {
+                    self.heard.insert(from);
+                }
+                let msg = (!self.sent).then(|| self.sent = true);
+                if self.steps >= 2 {
+                    (msg, Control::Decide(self.heard.len()))
+                } else {
+                    (msg, Control::Continue)
+                }
+            }
+        }
+
+        let n = SystemSize::new(2).unwrap();
+        let sim = SemiSyncSim::new(n);
         let make = || {
-            vec![
-                WriteRead {
-                    me: ProcessId::new(0),
-                },
-                WriteRead {
-                    me: ProcessId::new(1),
-                },
-            ]
+            (0..2)
+                .map(|_| Listen {
+                    steps: 0,
+                    heard: rrfd_core::IdSet::empty(),
+                    sent: false,
+                })
+                .collect::<Vec<_>>()
         };
-        let _ = explore_schedules(&sim, make, |_| {}, 5);
+        // With one allowed crash, "everyone hears both processes" fails.
+        let cex = semi_sync::explore_semi_sync_checked(
+            &sim,
+            1,
+            make,
+            |report| {
+                if report.outputs.iter().flatten().any(|(heard, _)| *heard < 2) {
+                    Err("someone heard fewer than two processes".to_owned())
+                } else {
+                    Ok(())
+                }
+            },
+            10_000,
+        )
+        .unwrap_err();
+
+        let mut replay = ScheduleReplay::from_trace(&cex.schedule);
+        let report = sim.run(make(), &mut replay).unwrap();
+        assert!(report.outputs.iter().flatten().any(|(heard, _)| *heard < 2));
     }
 }

@@ -21,6 +21,10 @@
 //! * [`detector_s`] — the S-augmented asynchronous system of §2 item 6.
 //! * [`explore`] — exhaustive schedule enumeration for small shared-memory
 //!   instances (turns sampled tests into proofs-by-enumeration).
+//! * [`trace`] — schedule capture ([`trace::Recording`]) and deterministic
+//!   replay ([`trace::ScheduleReplay`]) for the adversarial simulators, so
+//!   any failing run — including every `explore` counterexample — is a
+//!   serializable, re-runnable artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,3 +36,4 @@ pub mod explore;
 pub mod semi_sync;
 pub mod shared_mem;
 pub mod sync_net;
+pub mod trace;

@@ -85,7 +85,10 @@ impl fmt::Display for SemiSyncError {
                 write!(f, "no full decision after {max_steps} atomic steps")
             }
             SemiSyncError::WrongProcessCount { supplied, expected } => {
-                write!(f, "{supplied} processes supplied for a system of {expected}")
+                write!(
+                    f,
+                    "{supplied} processes supplied for a system of {expected}"
+                )
             }
         }
     }
@@ -188,8 +191,7 @@ impl SemiSyncSim {
         let event_limit = self.max_steps.saturating_mul(4).saturating_add(1024);
 
         loop {
-            let done = (0..n)
-                .all(|i| outputs[i].is_some() || crashed.contains(ProcessId::new(i)));
+            let done = (0..n).all(|i| outputs[i].is_some() || crashed.contains(ProcessId::new(i)));
             if done {
                 return Ok(SemiSyncReport {
                     outputs,
@@ -222,8 +224,7 @@ impl SemiSyncSim {
                     }
                     total_steps += 1;
                     step_counts[p.index()] += 1;
-                    let received: Vec<(ProcessId, P::Msg)> =
-                        inboxes[p.index()].drain(..).collect();
+                    let received: Vec<(ProcessId, P::Msg)> = inboxes[p.index()].drain(..).collect();
                     let (broadcast, verdict) = processes[p.index()].step(&received);
                     if let Some(msg) = broadcast {
                         // Synchronous communication: buffered everywhere at

@@ -155,7 +155,10 @@ impl fmt::Display for MemSimError {
                 write!(f, "runnable processes remain after {max_steps} steps")
             }
             MemSimError::WrongProcessCount { supplied, expected } => {
-                write!(f, "{supplied} processes supplied for a system of {expected}")
+                write!(
+                    f,
+                    "{supplied} processes supplied for a system of {expected}"
+                )
             }
         }
     }
@@ -398,10 +401,7 @@ impl SharedMemSim {
                         }
                         Action::Propose { object, value } => {
                             let Some(oracle) = oracles.get_mut(object) else {
-                                return Err(MemSimError::OracleUnavailable {
-                                    process: p,
-                                    object,
-                                });
+                                return Err(MemSimError::OracleUnavailable { process: p, object });
                             };
                             pending[idx] = Observation::Chosen(oracle.propose(value));
                         }

@@ -9,13 +9,13 @@
 //! RRFD counterpart; the simulator records it per round so experiment E1
 //! can machine-check eq. 1 / eq. 2 against real message-level executions.
 
+use rand::rngs::StdRng;
+use rand::seq::IteratorRandom;
+use rand::{Rng, SeedableRng};
 use rrfd_core::{
     Control, Delivery, FaultPattern, IdSet, ProcessId, Round, RoundFaults, RoundProtocol,
     SystemSize,
 };
-use rand::rngs::StdRng;
-use rand::seq::IteratorRandom;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Ground-truth fault behaviour: which messages are lost each round.
@@ -160,7 +160,9 @@ impl SyncFaults for RandomCrash {
                     // reached; the rest (never itself) miss out.
                     let others = universe - IdSet::singleton(s);
                     let miss_count = self.rng.gen_range(0..=others.len());
-                    others.iter().choose_multiple(&mut self.rng, miss_count)
+                    others
+                        .iter()
+                        .choose_multiple(&mut self.rng, miss_count)
                         .into_iter()
                         .collect()
                 }
@@ -198,7 +200,10 @@ impl fmt::Display for SyncSimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SyncSimError::WrongProcessCount { supplied, expected } => {
-                write!(f, "{supplied} processes supplied for a system of {expected}")
+                write!(
+                    f,
+                    "{supplied} processes supplied for a system of {expected}"
+                )
             }
             SyncSimError::RoundLimitExceeded { max_rounds } => {
                 write!(f, "no full decision after {max_rounds} synchronous rounds")
@@ -305,7 +310,11 @@ impl SyncNetSim {
             // Crashing *this* round still emits (partial sends handled by
             // the injector's drops); crashed in earlier rounds do not.
             let silent = faults.crashed_by(Round::new(round_no.saturating_sub(1).max(1)));
-            let silent = if round_no == 1 { IdSet::empty() } else { silent };
+            let silent = if round_no == 1 {
+                IdSet::empty()
+            } else {
+                silent
+            };
 
             let messages: Vec<Option<P::Msg>> = protocols
                 .iter_mut()
@@ -358,9 +367,8 @@ impl SyncNetSim {
 
             pattern.push(round_faults);
 
-            let all_live_decided = (0..n).all(|i| {
-                outputs[i].is_some() || crashed.contains(ProcessId::new(i))
-            });
+            let all_live_decided =
+                (0..n).all(|i| outputs[i].is_some() || crashed.contains(ProcessId::new(i)));
             if all_live_decided {
                 return Ok(SyncRunReport {
                     outputs,
@@ -410,8 +418,8 @@ mod tests {
 
     #[test]
     fn omission_runs_satisfy_eq1() {
-        use rrfd_models::predicates::SendOmission;
         use rrfd_core::RrfdPredicate;
+        use rrfd_models::predicates::SendOmission;
         let size = n(6);
         for seed in 0..10u64 {
             let faulty = ids(&[1, 4]);

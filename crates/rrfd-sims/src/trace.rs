@@ -1,0 +1,547 @@
+//! Schedule capture and replay for the classical simulators.
+//!
+//! The simulators in this crate are deterministic once the scheduler's
+//! choices are fixed, so a run is fully described by its event sequence:
+//! which process stepped or crashed (shared memory, semi-synchrony), or
+//! which channel delivered and who crashed (asynchronous network). This
+//! module captures that sequence as a serializable [`ScheduleTrace`] —
+//! wrap any scheduler in [`Recording`] — and re-drives it with
+//! [`ScheduleReplay`], the scheduler-level analogue of the engine-level
+//! `RunTrace` / `ReplayDetector` pair in `rrfd-core` / `rrfd-models`.
+//!
+//! The text format is line-oriented: a `rrfd-sched v1` header, then one
+//! event per line (`step 3`, `crash 1`, `deliver 0>2`). A failing
+//! schedule pasted from a test log can therefore be replayed verbatim.
+
+use crate::async_net::{NetEvent, NetScheduler};
+use crate::semi_sync::{SemiSyncEvent, SemiSyncScheduler};
+use crate::shared_mem::{MemEvent, MemScheduler};
+use rrfd_core::{IdSet, ProcessId};
+use std::fmt;
+use std::str::FromStr;
+
+/// A scheduler event that can be written to and read back from the
+/// line-oriented trace format.
+pub trait SchedEvent: Copy + fmt::Debug + PartialEq {
+    /// Writes the event as one trace line (no newline).
+    fn write_event(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+    /// Parses one trace line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed line.
+    fn parse_event(line: &str) -> Result<Self, String>;
+}
+
+fn parse_pid(token: &str) -> Result<ProcessId, String> {
+    let idx: usize = token
+        .parse()
+        .map_err(|_| format!("bad process id {token:?}"))?;
+    if idx >= rrfd_core::MAX_PROCESSES {
+        return Err(format!("process id {idx} out of range"));
+    }
+    Ok(ProcessId::new(idx))
+}
+
+impl SchedEvent for MemEvent {
+    fn write_event(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemEvent::Step(p) => write!(f, "step {}", p.index()),
+            MemEvent::Crash(p) => write!(f, "crash {}", p.index()),
+        }
+    }
+
+    fn parse_event(line: &str) -> Result<Self, String> {
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["step", p] => Ok(MemEvent::Step(parse_pid(p)?)),
+            ["crash", p] => Ok(MemEvent::Crash(parse_pid(p)?)),
+            _ => Err(format!("unrecognised event {line:?}")),
+        }
+    }
+}
+
+impl SchedEvent for SemiSyncEvent {
+    fn write_event(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemiSyncEvent::Step(p) => write!(f, "step {}", p.index()),
+            SemiSyncEvent::Crash(p) => write!(f, "crash {}", p.index()),
+        }
+    }
+
+    fn parse_event(line: &str) -> Result<Self, String> {
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["step", p] => Ok(SemiSyncEvent::Step(parse_pid(p)?)),
+            ["crash", p] => Ok(SemiSyncEvent::Crash(parse_pid(p)?)),
+            _ => Err(format!("unrecognised event {line:?}")),
+        }
+    }
+}
+
+impl SchedEvent for NetEvent {
+    fn write_event(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetEvent::Deliver { from, to } => {
+                write!(f, "deliver {}>{}", from.index(), to.index())
+            }
+            NetEvent::Crash(p) => write!(f, "crash {}", p.index()),
+        }
+    }
+
+    fn parse_event(line: &str) -> Result<Self, String> {
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["deliver", pair] => {
+                let (from, to) = pair
+                    .split_once('>')
+                    .ok_or_else(|| format!("bad channel {pair:?}"))?;
+                Ok(NetEvent::Deliver {
+                    from: parse_pid(from)?,
+                    to: parse_pid(to)?,
+                })
+            }
+            ["crash", p] => Ok(NetEvent::Crash(parse_pid(p)?)),
+            _ => Err(format!("unrecognised event {line:?}")),
+        }
+    }
+}
+
+/// The recorded event sequence of one simulator run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScheduleTrace<E> {
+    events: Vec<E>,
+}
+
+impl<E> ScheduleTrace<E> {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        ScheduleTrace { events: Vec::new() }
+    }
+
+    /// Wraps an explicit event sequence.
+    #[must_use]
+    pub fn from_events(events: Vec<E>) -> Self {
+        ScheduleTrace { events }
+    }
+
+    /// The recorded events, in execution order.
+    #[must_use]
+    pub fn events(&self) -> &[E] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl<E: SchedEvent> fmt::Display for ScheduleTrace<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rrfd-sched v1")?;
+        for event in &self.events {
+            event.write_event(f)?;
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from parsing a serialized [`ScheduleTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScheduleError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schedule trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseScheduleError {}
+
+impl<E: SchedEvent> FromStr for ScheduleTrace<E> {
+    type Err = ParseScheduleError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut lines = s.lines().enumerate();
+        match lines.next() {
+            Some((_, "rrfd-sched v1")) => {}
+            other => {
+                return Err(ParseScheduleError {
+                    line: 1,
+                    message: format!(
+                        "expected header \"rrfd-sched v1\", got {:?}",
+                        other.map(|(_, l)| l).unwrap_or("")
+                    ),
+                })
+            }
+        }
+        let mut events = Vec::new();
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            events.push(E::parse_event(line).map_err(|message| ParseScheduleError {
+                line: i + 1,
+                message,
+            })?);
+        }
+        Ok(ScheduleTrace { events })
+    }
+}
+
+/// Wraps a scheduler and records every event it chooses.
+///
+/// # Examples
+///
+/// ```
+/// use rrfd_sims::shared_mem::{MemEvent, RandomScheduler};
+/// use rrfd_sims::trace::Recording;
+///
+/// let mut sched: Recording<_, MemEvent> =
+///     Recording::new(RandomScheduler::new(7, 0));
+/// // ... pass `&mut sched` to `SharedMemSim::run` ...
+/// let (_inner, trace) = sched.into_parts();
+/// assert!(trace.is_empty()); // nothing ran in this toy example
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recording<S, E> {
+    inner: S,
+    events: Vec<E>,
+}
+
+impl<S, E> Recording<S, E> {
+    /// Wraps `inner`, starting with an empty recording.
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        Recording {
+            inner,
+            events: Vec::new(),
+        }
+    }
+
+    /// The wrapped scheduler.
+    #[must_use]
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// The trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> ScheduleTrace<E>
+    where
+        E: Clone,
+    {
+        ScheduleTrace {
+            events: self.events.clone(),
+        }
+    }
+
+    /// Unwraps into the inner scheduler and the recorded trace.
+    #[must_use]
+    pub fn into_parts(self) -> (S, ScheduleTrace<E>) {
+        (
+            self.inner,
+            ScheduleTrace {
+                events: self.events,
+            },
+        )
+    }
+}
+
+impl<S: MemScheduler> MemScheduler for Recording<S, MemEvent> {
+    fn next_event(&mut self, runnable: IdSet, step: u64) -> MemEvent {
+        let event = self.inner.next_event(runnable, step);
+        self.events.push(event);
+        event
+    }
+}
+
+impl<S: SemiSyncScheduler> SemiSyncScheduler for Recording<S, SemiSyncEvent> {
+    fn next_event(&mut self, live: IdSet, step: u64) -> SemiSyncEvent {
+        let event = self.inner.next_event(live, step);
+        self.events.push(event);
+        event
+    }
+}
+
+impl<S: NetScheduler> NetScheduler for Recording<S, NetEvent> {
+    fn next_event(&mut self, channels: &[(ProcessId, ProcessId)], deliveries: u64) -> NetEvent {
+        let event = self.inner.next_event(channels, deliveries);
+        self.events.push(event);
+        event
+    }
+}
+
+/// Re-drives a recorded schedule: event `k` of the trace is returned at the
+/// simulator's `k`-th scheduling decision. Past the end of the recording it
+/// falls back to the first available option (first runnable process / first
+/// busy channel), so a replay of a complete trace is exact and a replay of
+/// a truncated one still terminates.
+#[derive(Debug, Clone)]
+pub struct ScheduleReplay<E> {
+    events: Vec<E>,
+    cursor: usize,
+}
+
+impl<E: Clone> ScheduleReplay<E> {
+    /// Builds a replay scheduler from a captured trace.
+    #[must_use]
+    pub fn from_trace(trace: &ScheduleTrace<E>) -> Self {
+        ScheduleReplay {
+            events: trace.events.clone(),
+            cursor: 0,
+        }
+    }
+
+    fn next_recorded(&mut self) -> Option<E> {
+        let event = self.events.get(self.cursor).cloned();
+        self.cursor += 1;
+        event
+    }
+}
+
+impl<E: Clone> From<ScheduleTrace<E>> for ScheduleReplay<E> {
+    fn from(trace: ScheduleTrace<E>) -> Self {
+        ScheduleReplay {
+            events: trace.events,
+            cursor: 0,
+        }
+    }
+}
+
+impl MemScheduler for ScheduleReplay<MemEvent> {
+    fn next_event(&mut self, runnable: IdSet, _step: u64) -> MemEvent {
+        self.next_recorded().unwrap_or_else(|| {
+            MemEvent::Step(runnable.iter().next().expect("some process is runnable"))
+        })
+    }
+}
+
+impl SemiSyncScheduler for ScheduleReplay<SemiSyncEvent> {
+    fn next_event(&mut self, live: IdSet, _step: u64) -> SemiSyncEvent {
+        self.next_recorded().unwrap_or_else(|| {
+            SemiSyncEvent::Step(live.iter().next().expect("some process is live"))
+        })
+    }
+}
+
+impl NetScheduler for ScheduleReplay<NetEvent> {
+    fn next_event(&mut self, channels: &[(ProcessId, ProcessId)], _deliveries: u64) -> NetEvent {
+        self.next_recorded().unwrap_or_else(|| {
+            let (from, to) = channels[0];
+            NetEvent::Deliver { from, to }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrfd_core::SystemSize;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn mem_events_round_trip_through_text() {
+        let trace = ScheduleTrace::from_events(vec![
+            MemEvent::Step(p(0)),
+            MemEvent::Crash(p(2)),
+            MemEvent::Step(p(1)),
+        ]);
+        let text = trace.to_string();
+        assert_eq!(text, "rrfd-sched v1\nstep 0\ncrash 2\nstep 1\n");
+        let back: ScheduleTrace<MemEvent> = text.parse().unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn net_events_round_trip_through_text() {
+        let trace = ScheduleTrace::from_events(vec![
+            NetEvent::Deliver {
+                from: p(0),
+                to: p(2),
+            },
+            NetEvent::Crash(p(1)),
+        ]);
+        let text = trace.to_string();
+        assert_eq!(text, "rrfd-sched v1\ndeliver 0>2\ncrash 1\n");
+        let back: ScheduleTrace<NetEvent> = text.parse().unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn malformed_schedules_are_rejected() {
+        assert!("".parse::<ScheduleTrace<MemEvent>>().is_err());
+        assert!("bogus header\nstep 0\n"
+            .parse::<ScheduleTrace<MemEvent>>()
+            .is_err());
+        let err = "rrfd-sched v1\nstep 0\nfly 3\n"
+            .parse::<ScheduleTrace<MemEvent>>()
+            .unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!("rrfd-sched v1\ndeliver 0x2\n"
+            .parse::<ScheduleTrace<NetEvent>>()
+            .is_err());
+        assert!("rrfd-sched v1\nstep 999\n"
+            .parse::<ScheduleTrace<MemEvent>>()
+            .is_err());
+    }
+
+    #[test]
+    fn recording_then_replay_is_identity_on_shared_memory() {
+        use crate::shared_mem::{Action, MemProcess, Observation, RandomScheduler, SharedMemSim};
+
+        #[derive(Debug)]
+        struct WriteReadDecide {
+            me: ProcessId,
+        }
+        impl MemProcess<u64> for WriteReadDecide {
+            type Output = Option<u64>;
+            fn step(&mut self, obs: Observation<u64>) -> Action<u64, Option<u64>> {
+                match obs {
+                    Observation::Start => Action::Write {
+                        bank: 0,
+                        value: self.me.index() as u64 + 1,
+                    },
+                    Observation::Written => Action::Read {
+                        bank: 0,
+                        owner: ProcessId::new((self.me.index() + 1) % 3),
+                    },
+                    Observation::Value(v) => Action::Decide(v),
+                    other => unreachable!("{other:?}"),
+                }
+            }
+        }
+
+        let n = SystemSize::new(3).unwrap();
+        let sim = SharedMemSim::new(n, 1);
+        let make = || {
+            (0..3)
+                .map(|i| WriteReadDecide { me: p(i) })
+                .collect::<Vec<_>>()
+        };
+
+        for seed in 0..10u64 {
+            let mut recording = Recording::new(RandomScheduler::new(seed, 1));
+            let original = sim.run(make(), &mut recording).unwrap();
+            let (_, trace) = recording.into_parts();
+
+            // Replay from the parsed text form: text → trace → run.
+            let reparsed: ScheduleTrace<MemEvent> = trace.to_string().parse().unwrap();
+            assert_eq!(reparsed, trace);
+            let mut replay = ScheduleReplay::from_trace(&reparsed);
+            let replayed = sim.run(make(), &mut replay).unwrap();
+            assert_eq!(replayed.outputs, original.outputs, "seed {seed}");
+            assert_eq!(replayed.crashed, original.crashed, "seed {seed}");
+            assert_eq!(replayed.steps, original.steps, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn recording_then_replay_is_identity_on_the_async_net() {
+        use crate::async_net::{AsyncNetSim, AsyncProcess, Outbox, RandomNetScheduler};
+        use rrfd_core::Control;
+
+        struct Echo(ProcessId);
+        impl AsyncProcess for Echo {
+            type Msg = u64;
+            type Output = u64;
+            fn on_start(&mut self, out: &mut Outbox<u64>) {
+                out.broadcast(self.0.index() as u64);
+            }
+            fn on_message(
+                &mut self,
+                _now: u64,
+                _from: ProcessId,
+                msg: u64,
+                _out: &mut Outbox<u64>,
+            ) -> Control<u64> {
+                Control::Decide(msg)
+            }
+        }
+
+        let n = SystemSize::new(4).unwrap();
+        let sim = AsyncNetSim::new(n);
+        let make = || n.processes().map(Echo).collect::<Vec<_>>();
+
+        for seed in 0..10u64 {
+            let mut recording = Recording::new(RandomNetScheduler::new(seed, 1));
+            let original = sim.run(make(), &mut recording).unwrap();
+            let (_, trace) = recording.into_parts();
+
+            let mut replay = ScheduleReplay::from(trace);
+            let replayed = sim.run(make(), &mut replay).unwrap();
+            assert_eq!(replayed.outputs, original.outputs, "seed {seed}");
+            assert_eq!(replayed.crashed, original.crashed, "seed {seed}");
+            assert_eq!(replayed.deliveries, original.deliveries, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn recording_then_replay_is_identity_on_semi_sync() {
+        use crate::semi_sync::{RandomSemiSync, SemiSyncProcess, SemiSyncSim};
+        use rrfd_core::Control;
+
+        /// Decides, after three steps, on the set of distinct senders heard.
+        #[derive(Debug)]
+        struct Listen {
+            steps: u64,
+            heard: IdSet,
+            sent: bool,
+        }
+        impl SemiSyncProcess for Listen {
+            type Msg = ();
+            type Output = usize;
+            fn step(&mut self, received: &[(ProcessId, ())]) -> (Option<()>, Control<usize>) {
+                self.steps += 1;
+                for &(from, ()) in received {
+                    self.heard.insert(from);
+                }
+                let msg = (!self.sent).then(|| self.sent = true);
+                if self.steps >= 3 {
+                    (msg, Control::Decide(self.heard.len()))
+                } else {
+                    (msg, Control::Continue)
+                }
+            }
+        }
+
+        let n = SystemSize::new(3).unwrap();
+        let sim = SemiSyncSim::new(n);
+        let make = || {
+            (0..3)
+                .map(|_| Listen {
+                    steps: 0,
+                    heard: IdSet::empty(),
+                    sent: false,
+                })
+                .collect::<Vec<_>>()
+        };
+        for seed in 0..10u64 {
+            let mut recording = Recording::new(RandomSemiSync::new(seed, 1));
+            let original = sim.run(make(), &mut recording).unwrap();
+            let (_, trace) = recording.into_parts();
+
+            let reparsed: ScheduleTrace<SemiSyncEvent> = trace.to_string().parse().unwrap();
+            let mut replay = ScheduleReplay::from_trace(&reparsed);
+            let replayed = sim.run(make(), &mut replay).unwrap();
+            assert_eq!(replayed.outputs, original.outputs, "seed {seed}");
+            assert_eq!(replayed.crashed, original.crashed, "seed {seed}");
+        }
+    }
+}

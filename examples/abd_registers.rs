@@ -34,7 +34,9 @@ fn main() {
             .map(|p| AbdClient::new(p, n, f, scripts[p.index()].clone()))
             .collect();
         let mut sched = RandomNetScheduler::new(seed, f).crash_prob(0.003);
-        let report = AsyncNetSim::new(n).run(procs, &mut sched).expect("run completes");
+        let report = AsyncNetSim::new(n)
+            .run(procs, &mut sched)
+            .expect("run completes");
 
         check_clients(&report.processes).expect("atomicity holds");
 
@@ -51,7 +53,10 @@ fn main() {
                 None => "⊥".to_owned(),
             })
             .collect();
-        println!("         p1's successive reads of p0's register: [{}]", reads.join(", "));
+        println!(
+            "         p1's successive reads of p0's register: [{}]",
+            reads.join(", ")
+        );
     }
 
     println!();

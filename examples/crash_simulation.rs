@@ -37,7 +37,10 @@ fn main() {
             report.crash_certified,
             report.pattern.cumulative_union().len(),
         );
-        assert!(report.crash_certified, "Theorem 4.3 guarantees certification");
+        assert!(
+            report.crash_certified,
+            "Theorem 4.3 guarantees certification"
+        );
     }
 
     println!();

@@ -6,8 +6,8 @@
 use rrfd::core::{RrfdPredicate, SystemSize};
 use rrfd::models::adversary::SampleModel;
 use rrfd::models::predicates::{
-    AntiSymmetric, AsyncResilient, Crash, DetectorS, IdenticalViews, KUncertainty,
-    SendOmission, Snapshot, Swmr, SystemB,
+    AntiSymmetric, AsyncResilient, Crash, DetectorS, IdenticalViews, KUncertainty, SendOmission,
+    Snapshot, Swmr, SystemB,
 };
 use rrfd::models::submodel::refines_on_samples;
 
@@ -63,7 +63,11 @@ fn main() {
         (crash.name(), omission.name(), check(&crash, &omission)),
         (omission.name(), crash.name(), check(&omission, &crash)),
         (snapshot.name(), swmr.name(), check(&snapshot, &swmr)),
-        (swmr.name(), asynchronous.name(), check(&swmr, &asynchronous)),
+        (
+            swmr.name(),
+            asynchronous.name(),
+            check(&swmr, &asynchronous),
+        ),
         (
             asynchronous.name(),
             swmr.name(),

@@ -22,8 +22,7 @@ fn main() {
 
     for seed in 0..5u64 {
         let mut adversary = RandomAdversary::new(KUncertainty::new(n, k), seed);
-        let decisions =
-            one_round_kset(n, k, &inputs, &mut adversary).expect("legal adversary");
+        let decisions = one_round_kset(n, k, &inputs, &mut adversary).expect("legal adversary");
 
         let mut distinct = decisions.clone();
         distinct.sort_unstable();

@@ -31,7 +31,9 @@ fn main() {
             .map(|p| TwoStepConsensus::new(n, p, inputs[p.index()]))
             .collect();
         let mut sched = RandomSemiSync::new(42 + nv as u64, nv - 1);
-        let fast = SemiSyncSim::new(n).run(procs, &mut sched).expect("terminates");
+        let fast = SemiSyncSim::new(n)
+            .run(procs, &mut sched)
+            .expect("terminates");
         let fast_outs: Vec<Option<u64>> = fast
             .outputs
             .iter()
@@ -45,7 +47,9 @@ fn main() {
             .map(|p| RepeatedRounds::new(n, p, inputs[p.index()], nv as u32))
             .collect();
         let mut sched = RandomSemiSync::new(142 + nv as u64, nv - 1);
-        let slow = SemiSyncSim::new(n).run(procs, &mut sched).expect("terminates");
+        let slow = SemiSyncSim::new(n)
+            .run(procs, &mut sched)
+            .expect("terminates");
         let slow_outs: Vec<Option<u64>> = slow
             .outputs
             .iter()

@@ -18,12 +18,7 @@ use rrfd::models::predicates::Crash;
 use rrfd::protocols::kset::FloodMin;
 use std::collections::BTreeSet;
 
-fn distinct_live_decisions(
-    n: SystemSize,
-    f: usize,
-    k: usize,
-    budget: u32,
-) -> usize {
+fn distinct_live_decisions(n: SystemSize, f: usize, k: usize, budget: u32) -> usize {
     let inputs: Vec<u64> = (0..n.get() as u64).collect();
     let protocols: Vec<_> = inputs.iter().map(|&v| FloodMin::new(v, budget)).collect();
     let model = Crash::new(n, f);
@@ -45,7 +40,10 @@ fn distinct_live_decisions(
 
 fn main() {
     println!("k-set agreement vs. the chain-silencing adversary");
-    println!("{:>4} {:>4} {:>4} | {:>14} {:>16}", "n", "f", "k", "⌊f/k⌋ rounds", "⌊f/k⌋+1 rounds");
+    println!(
+        "{:>4} {:>4} {:>4} | {:>14} {:>16}",
+        "n", "f", "k", "⌊f/k⌋ rounds", "⌊f/k⌋+1 rounds"
+    );
     for &(n, f, k) in &[(6usize, 3usize, 1usize), (10, 4, 2), (13, 6, 3), (17, 8, 4)] {
         let n = SystemSize::new(n).expect("valid size");
         let short = (f / k) as u32;

@@ -9,9 +9,7 @@ use rrfd::core::{
     Control, Delivery, FaultPattern, IdSet, ProcessId, Round, RoundProtocol, RrfdPredicate,
     SystemSize,
 };
-use rrfd::models::predicates::{
-    AsyncResilient, Crash, DetectorS, IdenticalViews, SendOmission,
-};
+use rrfd::models::predicates::{AsyncResilient, Crash, DetectorS, IdenticalViews, SendOmission};
 use rrfd::sims::async_net::{AsyncNetSim, RandomNetScheduler};
 use rrfd::sims::async_rounds::RoundedAsync;
 use rrfd::sims::detector_s::SAugmentedSystem;
@@ -116,11 +114,8 @@ fn e1_detector_s_system_satisfies_p6() {
             let mut system = SAugmentedSystem::random(size, 5, seed);
             let mut history = FaultPattern::new(size);
             for r in 1..=8 {
-                let round = rrfd::core::FaultDetector::next_round(
-                    &mut system,
-                    Round::new(r),
-                    &history,
-                );
+                let round =
+                    rrfd::core::FaultDetector::next_round(&mut system, Round::new(r), &history);
                 assert!(
                     model.admits(&history, &round),
                     "n={nv} seed={seed} round={r}: P6 violated"
@@ -156,8 +151,7 @@ fn e1_semi_sync_two_step_rounds_satisfy_eq5() {
                 continue; // everyone crashed: no round to check
             }
             let shared = views[0];
-            let round =
-                rrfd::core::RoundFaults::from_sets(size, vec![shared; size.get()]);
+            let round = rrfd::core::RoundFaults::from_sets(size, vec![shared; size.get()]);
             let mut history = FaultPattern::new(size);
             assert!(model.admits(&history, &round), "n={nv} seed={seed}");
             history.push(round);

@@ -3,14 +3,11 @@
 
 use proptest::prelude::*;
 use rrfd::core::task::{AdoptCommitSpec, Grade, KSetAgreement, Value};
-use rrfd::core::{
-    FaultPattern, IdSet, ProcessId, RoundFaults, RrfdPredicate, SystemSize,
-};
+use rrfd::core::{FaultPattern, IdSet, ProcessId, RoundFaults, RrfdPredicate, SystemSize};
 
 fn pid_set(n: usize) -> impl Strategy<Value = IdSet> {
-    prop::collection::btree_set(0..n, 0..=n).prop_map(|s| {
-        s.into_iter().map(ProcessId::new).collect()
-    })
+    prop::collection::btree_set(0..n, 0..=n)
+        .prop_map(|s| s.into_iter().map(ProcessId::new).collect())
 }
 
 /// A strategy for one round's worth of suspicion sets over `n` processes,

@@ -5,16 +5,14 @@
 use proptest::prelude::*;
 use rrfd::core::task::{KSetAgreement, Value};
 use rrfd::core::{
-    And, Engine, FaultPattern, IdSet, Or, ProcessId, RoundFaults, RrfdPredicate,
-    SystemSize,
+    And, Engine, FaultPattern, IdSet, Or, ProcessId, RoundFaults, RrfdPredicate, SystemSize,
 };
 use rrfd::models::adversary::{RandomAdversary, StaggeredCrash};
 use rrfd::models::predicates::{AsyncResilient, Crash, KUncertainty, Snapshot};
 
 fn pid_set(n: usize) -> impl Strategy<Value = IdSet> {
-    prop::collection::btree_set(0..n, 0..n).prop_map(|s| {
-        s.into_iter().map(ProcessId::new).collect()
-    })
+    prop::collection::btree_set(0..n, 0..n)
+        .prop_map(|s| s.into_iter().map(ProcessId::new).collect())
 }
 
 fn round_faults(n: usize) -> impl Strategy<Value = RoundFaults> {

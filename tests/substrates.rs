@@ -32,8 +32,7 @@ fn immediate_snapshot_properties_sweep() {
                 .with_snapshots()
                 .run(procs, &mut sched)
                 .unwrap();
-            let views: Vec<IdSet> =
-                report.outputs.into_iter().map(Option::unwrap).collect();
+            let views: Vec<IdSet> = report.outputs.into_iter().map(Option::unwrap).collect();
             // Self-inclusion + containment + immediacy.
             for (i, vi) in views.iter().enumerate() {
                 assert!(vi.contains(ProcessId::new(i)), "n={nv} seed={seed}");
@@ -73,8 +72,7 @@ fn iterated_is_full_pattern_sweep() {
                 .with_snapshots()
                 .run(procs, &mut sched)
                 .unwrap();
-            let all: Vec<Vec<IdSet>> =
-                report.outputs.into_iter().map(Option::unwrap).collect();
+            let all: Vec<Vec<IdSet>> = report.outputs.into_iter().map(Option::unwrap).collect();
             let mut pattern = rrfd::core::FaultPattern::new(size);
             for r in 0..rounds as usize {
                 let views: Vec<IdSet> = all.iter().map(|v| v[r]).collect();
@@ -108,8 +106,7 @@ fn abd_atomicity_sweep() {
             .collect();
         let mut sched = RandomNetScheduler::new(seed, f).crash_prob(0.002);
         let report = AsyncNetSim::new(size).run(procs, &mut sched).unwrap();
-        check_clients(&report.processes)
-            .unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
+        check_clients(&report.processes).unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
     }
 }
 

@@ -52,10 +52,7 @@ fn corollary_3_2_sweep() {
         let ins = inputs(nv);
         let task = KSetAgreement::new(k);
         for seed in 0..8u64 {
-            let procs: Vec<_> = ins
-                .iter()
-                .map(|&v| SnapshotKSet::new(size, k, v))
-                .collect();
+            let procs: Vec<_> = ins.iter().map(|&v| SnapshotKSet::new(size, k, v)).collect();
             let mut sched = RandomScheduler::new(seed, k - 1).crash_prob(0.04);
             let report = SharedMemSim::new(size, 1)
                 .with_snapshots()
@@ -98,8 +95,7 @@ fn theorem_4_3_sweep() {
                 .map(|v| FloodMin::new(v, budget))
                 .collect();
             let mut sched = RandomScheduler::new(seed, k).crash_prob(0.02);
-            let report =
-                run_crash_simulation(size, k, f, budget, protos, &mut sched).unwrap();
+            let report = run_crash_simulation(size, k, f, budget, protos, &mut sched).unwrap();
             assert!(
                 report.crash_certified,
                 "n={nv} f={f} k={k} seed={seed}: {:?}",
@@ -174,8 +170,7 @@ fn theorem_3_3_sweep() {
         let model = KUncertainty::new(size, k);
         for seed in 0..8u64 {
             let mut sched = RandomScheduler::new(seed, 0);
-            let pattern =
-                build_detector_pattern(size, k, 4, seed ^ 0xF00D, &mut sched).unwrap();
+            let pattern = build_detector_pattern(size, k, 4, seed ^ 0xF00D, &mut sched).unwrap();
             assert!(
                 model.admits_pattern(&pattern),
                 "n={nv} k={k} seed={seed}: constructed detector exceeded uncertainty"
@@ -206,8 +201,7 @@ fn engine_and_threads_agree_on_theorem_3_1() {
         let threaded = ThreadedEngine::new(size)
             .run(protos, &mut adv_b, &model)
             .unwrap();
-        let threaded_out: Vec<Value> =
-            threaded.outputs().into_iter().map(Option::unwrap).collect();
+        let threaded_out: Vec<Value> = threaded.outputs().into_iter().map(Option::unwrap).collect();
 
         assert_eq!(engine_out, threaded_out, "seed {seed}");
         task.check_terminating(
@@ -239,8 +233,8 @@ fn majority_echo_and_cycle_experiments() {
     for nv in [3usize, 6, 11, 20] {
         let size = n(nv);
         let mut det = RingMiss::new(size);
-        let rounds = rounds_until_known_by_all(size, &mut det, 2 * nv as u32)
-            .expect("paper's bound");
+        let rounds =
+            rounds_until_known_by_all(size, &mut det, 2 * nv as u32).expect("paper's bound");
         assert!(rounds <= nv as u32, "n={nv}: {rounds} rounds");
     }
 }

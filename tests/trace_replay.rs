@@ -1,0 +1,141 @@
+//! Property tests for the capture → replay subsystem: a trace recorded
+//! from a random adversary re-drives the *same* run — decisions, decision
+//! rounds, and fault pattern — on both execution substrates (the
+//! in-process `Engine` and the threaded runtime), and survives a
+//! serialize → parse round trip unchanged.
+
+use proptest::prelude::*;
+use rrfd::core::{Control, Delivery, Engine, Round, RoundProtocol, RunTrace, TraceOutcome};
+use rrfd::core::{ProcessId, SystemSize};
+use rrfd::models::adversary::{RandomAdversary, ReplayDetector};
+use rrfd::models::predicates::KUncertainty;
+use rrfd::runtime::ThreadedEngine;
+
+/// Sums everything heard; decides after a fixed number of rounds. The
+/// output depends on every delivery, so two runs agree on outputs only if
+/// they agree on the whole `D(i,r)` history.
+#[derive(Clone)]
+struct SumUntil {
+    rounds: u32,
+    acc: u64,
+    me: u64,
+}
+
+impl RoundProtocol for SumUntil {
+    type Msg = u64;
+    type Output = u64;
+    fn emit(&mut self, _r: Round) -> u64 {
+        self.me
+    }
+    fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
+        self.acc += d.received.iter().flatten().sum::<u64>();
+        if d.round.get() >= self.rounds {
+            Control::Decide(self.acc)
+        } else {
+            Control::Continue
+        }
+    }
+}
+
+fn protocols(n: usize, rounds: u32) -> Vec<SumUntil> {
+    (0..n)
+        .map(|i| SumUntil {
+            rounds,
+            acc: 0,
+            me: i as u64 + 1,
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn captured_traces_replay_identically_on_both_substrates(
+        n in 3usize..8,
+        k in 1usize..3,
+        seed in any::<u64>(),
+        rounds in 1u32..5,
+    ) {
+        let size = SystemSize::new(n).unwrap();
+        let model = KUncertainty::new(size, k);
+
+        // Capture: a random legal adversary drives the in-process engine.
+        let (original, trace) = Engine::new(size).run_traced(
+            protocols(n, rounds),
+            &mut RandomAdversary::new(model, seed),
+            &model,
+        );
+        let original = original.expect("decide-after protocols terminate");
+        prop_assert_eq!(
+            trace.outcome(),
+            &TraceOutcome::Decided { rounds_executed: original.rounds_executed }
+        );
+
+        // The trace is self-consistent with the report.
+        prop_assert_eq!(trace.pattern(), original.pattern.clone());
+        for (i, d) in original.decisions.iter().enumerate() {
+            prop_assert_eq!(
+                trace.decision_rounds()[i],
+                d.as_ref().map(|(_, r)| *r)
+            );
+        }
+
+        // Replay on the in-process engine: bit-for-bit identical.
+        let (replayed, retrace) = Engine::new(size).run_traced(
+            protocols(n, rounds),
+            &mut ReplayDetector::from_trace(&trace),
+            &model,
+        );
+        let replayed = replayed.expect("replay terminates like the original");
+        prop_assert_eq!(&retrace, &trace);
+        prop_assert_eq!(replayed.decisions.clone(), original.decisions.clone());
+        prop_assert_eq!(replayed.pattern.clone(), original.pattern.clone());
+        prop_assert_eq!(replayed.rounds_executed, original.rounds_executed);
+
+        // Replay on the threaded runtime: same FaultPattern, outputs, and
+        // decision rounds across substrates.
+        let (threaded, threaded_trace) = ThreadedEngine::new(size).run_traced(
+            protocols(n, rounds),
+            &mut ReplayDetector::from_trace(&trace),
+            &model,
+        );
+        let threaded = threaded.expect("threaded replay terminates");
+        prop_assert_eq!(&threaded_trace, &trace);
+        prop_assert_eq!(threaded.decisions.clone(), original.decisions.clone());
+        prop_assert_eq!(threaded.pattern.clone(), original.pattern.clone());
+        prop_assert_eq!(threaded.rounds_executed, original.rounds_executed);
+
+        // Serialize → parse → identical trace.
+        let text = trace.to_string();
+        let reparsed: RunTrace = text.parse().expect("trace text parses back");
+        prop_assert_eq!(&reparsed, &trace);
+    }
+
+    #[test]
+    fn heard_sets_respect_the_covering_property(
+        n in 2usize..8,
+        k in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        // S(i,r) ∪ D(i,r) = S for every process and round: what a process
+        // heard is exactly the complement of what it was told to suspect.
+        let size = SystemSize::new(n).unwrap();
+        let model = KUncertainty::new(size, k.min(n - 1).max(1));
+        let (_, trace) = Engine::new(size).run_traced(
+            protocols(n, 3),
+            &mut RandomAdversary::new(model, seed),
+            &model,
+        );
+        for round in trace.rounds() {
+            for i in 0..n {
+                let me = ProcessId::new(i);
+                let heard = round.heard[i];
+                let suspected = round.faults.of(me);
+                prop_assert_eq!(
+                    heard | suspected,
+                    rrfd::core::IdSet::universe(size)
+                );
+                prop_assert!(heard.is_disjoint(suspected));
+            }
+        }
+    }
+}

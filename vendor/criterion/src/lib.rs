@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the slice of the criterion 0.5 API the `rrfd-bench` benches
+//! use — `Criterion`, `benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — on a simple wall-clock
+//! timer. Like real criterion, the harness distinguishes *test mode*
+//! (`cargo test` runs the bench binary with no `--bench` flag: each routine
+//! executes once, silently, to prove it works) from *bench mode*
+//! (`cargo bench` passes `--bench`: routines are timed over `sample_size`
+//! batches and a mean per-iteration time is reported). No statistics, no
+//! HTML reports — just enough to keep `cargo bench` informative offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            // cargo bench passes `--bench`; cargo test does not.
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes in bench mode.
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub takes no warm-up.
+    #[must_use]
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is count-based here.
+    #[must_use]
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.into().label, f);
+    }
+
+    fn run_one<F>(&mut self, label: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: if self.bench_mode { self.sample_size } else { 1 },
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if self.bench_mode && bencher.iterations > 0 {
+            let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iterations.max(1));
+            println!(
+                "{label:<60} {per_iter:>12} ns/iter ({} iters)",
+                bencher.iterations
+            );
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        self.criterion.run_one(&label, f);
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        self.criterion.run_one(&label, |b| f(b, input));
+    }
+
+    /// Ends the group. (Real criterion prints summaries here; the stub
+    /// prints as it goes.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `"name/parameter"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Hands the routine under measurement to the harness.
+pub struct Bencher {
+    samples: usize,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing the optimiser from discarding its result.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running each
+/// target against a shared `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: a `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn test_mode_runs_routine_once() {
+        let mut c = Criterion {
+            sample_size: 10,
+            bench_mode: false,
+        };
+        let count = AtomicU64::new(0);
+        let mut group = c.benchmark_group("g");
+        group.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| count.fetch_add(1, Ordering::Relaxed))
+        });
+        group.finish();
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn bench_mode_takes_sample_size_iterations() {
+        let mut c = Criterion {
+            sample_size: 7,
+            bench_mode: true,
+        };
+        let count = AtomicU64::new(0);
+        c.bench_function("solo", |b| b.iter(|| count.fetch_add(1, Ordering::Relaxed)));
+        assert_eq!(count.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion {
+            sample_size: 1,
+            bench_mode: false,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 9), &9usize, |b, &n| {
+            b.iter(|| n);
+            seen = n;
+        });
+        group.finish();
+        assert_eq!(seen, 9);
+    }
+
+    #[test]
+    fn id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", "n4").to_string(), "f/n4");
+    }
+}

@@ -1,0 +1,507 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the surface this workspace's property tests use: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, range /
+//! tuple / `any::<T>()` strategies, `prop::collection::{vec, btree_set}`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! The runner is deliberately simple: each test draws `PROPTEST_CASES`
+//! (default 64) inputs from a generator seeded by the test's module path, so
+//! failures are reproducible run-to-run, and every failure report includes
+//! the generated inputs. There is no shrinking and no persistence — a
+//! failing case prints its inputs instead of minimising them, which has
+//! proven enough to debug with since the inputs here are small.
+
+#![forbid(unsafe_code)]
+
+pub use rand::rngs::StdRng as TestRng;
+pub use rand::SeedableRng;
+
+/// The `Strategy` trait and combinators.
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `map`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, map }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// Always yields a clone of the given value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy for [`super::arbitrary::Arbitrary`] types; built by
+    /// [`super::arbitrary::any`].
+    pub struct Any<A> {
+        pub(crate) _marker: PhantomData<A>,
+    }
+
+    impl<A: super::arbitrary::Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` and the `Arbitrary` trait backing it.
+pub mod arbitrary {
+    use super::strategy::Any;
+    use super::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical unconstrained generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy of all values of `A` (`proptest::arbitrary::any`).
+    #[must_use]
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size band for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    /// Strategy for `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s of values from `element`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` strategy targeting a size drawn from `size`. If the
+    /// element domain is too small to reach the target, the set saturates
+    /// at whatever distinct values a bounded number of draws produced.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 20 + 50 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// The case runner behind the `proptest!` macro.
+pub mod test_runner {
+    use super::{SeedableRng, TestRng};
+    use std::fmt;
+
+    /// A failed property within one generated case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// FNV-1a, used to derive a per-test seed from its name.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// How many cases each property runs (`PROPTEST_CASES`, default 64).
+    #[must_use]
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Drives `case` once per generated input set. `case` returns the
+    /// pretty-printed inputs plus the (panic-caught) property outcome, so
+    /// every failure mode reports what was generated.
+    pub fn run_cases<F>(test_name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, std::thread::Result<Result<(), TestCaseError>>),
+    {
+        let cases = case_count();
+        let base = fnv1a(test_name.as_bytes());
+        for i in 0..cases {
+            let seed = base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            let (inputs, outcome) = case(&mut rng);
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => panic!(
+                    "[{test_name}] case {i}/{cases} (seed {seed:#018x}) failed: {e}\n\
+                     generated inputs: {inputs}"
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "[{test_name}] case {i}/{cases} (seed {seed:#018x}) panicked;\n\
+                         generated inputs: {inputs}"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Sub-path namespace used by the prelude (`prop::collection::...`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                        let __inputs = format!(
+                            concat!($(stringify!($arg), " = {:?}; "),+),
+                            $(&$arg),+
+                        );
+                        let __outcome = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(
+                                move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                    $body
+                                    ::std::result::Result::Ok(())
+                                },
+                            ),
+                        );
+                        (__inputs, __outcome)
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case (with early return) when `$cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::{SeedableRng, TestRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let doubled = (1usize..5).prop_map(|v| v * 2).generate(&mut rng);
+        assert!([2, 4, 6, 8].contains(&doubled));
+    }
+
+    #[test]
+    fn vec_respects_size_band() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let v = prop::collection::vec(0u64..10, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_distinct_and_bounded() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = prop::collection::btree_set(0usize..6, 0..=6).generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.iter().all(|&v| v < 6));
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let (a, b) = (0usize..5, 10u64..20).generate(&mut rng);
+        assert!(a < 5);
+        assert!((10..20).contains(&b));
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(a in 0usize..10, b in any::<u64>()) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(a, 10);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_inputs() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases("always_fails", |rng| {
+                let v = (0usize..4).generate(rng);
+                let inputs = format!("v = {v:?}");
+                (
+                    inputs,
+                    Ok(Err(crate::test_runner::TestCaseError::fail("nope"))),
+                )
+            });
+        });
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("nope"), "{msg}");
+        assert!(msg.contains("generated inputs"), "{msg}");
+    }
+}

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! workspace vendors the small slice of the rand 0.8 API it actually uses:
+//! a seedable, clonable [`rngs::StdRng`] (xoshiro256++ core, SplitMix64
+//! seeding), uniform integer sampling over ranges, `gen_bool`, and the
+//! sequence helpers `SliceRandom` / `IteratorRandom`. The streams differ
+//! from upstream rand, but every consumer in this workspace only needs
+//! *deterministic* randomness, not rand's exact streams.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 — used to expand a `u64` seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Random number generators.
+pub mod rngs {
+    use super::{splitmix64, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+}
+
+/// A type usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range. Panics when the range is empty.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+/// Rejection-free-enough uniform draw in `[0, bound)` via Lemire reduction.
+fn uniform_below(rng: &mut rngs::StdRng, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    // Widening multiply keeps the bias below 2^-64 per draw after one
+    // rejection pass — indistinguishable for simulation purposes.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(bound);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from an empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// The user-facing generator interface.
+pub trait Rng {
+    /// Raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range`; panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: AsStdRng,
+    {
+        range.sample(self.as_std_rng())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 high bits give a uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Internal plumbing: the sampling code needs the concrete generator.
+pub trait AsStdRng {
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
+}
+
+impl AsStdRng for rngs::StdRng {
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng {
+        self
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        rngs::StdRng::next_u64(self)
+    }
+}
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::{rngs::StdRng, SampleRange};
+
+    /// Random helpers on slices.
+    pub trait SliceRandom {
+        type Item;
+
+        /// A uniformly chosen reference, or `None` on an empty slice.
+        fn choose(&self, rng: &mut StdRng) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose(&self, rng: &mut StdRng) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let idx = (0..self.len()).sample(rng);
+                Some(&self[idx])
+            }
+        }
+
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample(rng);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Random helpers on iterators (reservoir sampling).
+    pub trait IteratorRandom: Iterator + Sized {
+        /// A uniformly chosen element, or `None` on an empty iterator.
+        fn choose(self, rng: &mut StdRng) -> Option<Self::Item> {
+            let mut chosen = None;
+            for (seen, item) in self.enumerate() {
+                if (0..=seen).sample(rng) == 0 {
+                    chosen = Some(item);
+                }
+            }
+            chosen
+        }
+
+        /// Up to `amount` distinct elements; order is unspecified.
+        fn choose_multiple(self, rng: &mut StdRng, amount: usize) -> Vec<Self::Item> {
+            let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+            for (seen, item) in self.enumerate() {
+                if reservoir.len() < amount {
+                    reservoir.push(item);
+                } else {
+                    let j = (0..=seen).sample(rng);
+                    if j < amount {
+                        reservoir[j] = item;
+                    }
+                }
+            }
+            reservoir
+        }
+    }
+
+    impl<I: Iterator> IteratorRandom for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{IteratorRandom, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn clone_preserves_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..6 should appear");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _: usize = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn slice_choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = [10, 20, 30];
+        assert!(items.contains(items.choose(&mut rng).unwrap()));
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+
+        let mut perm: Vec<usize> = (0..10).collect();
+        perm.shuffle(&mut rng);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iterator_choose_multiple_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let picked = (0..100).choose_multiple(&mut rng, 10);
+        assert_eq!(picked.len(), 10);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "choose_multiple must not repeat elements");
+
+        assert!((0..0).choose(&mut rng).is_none());
+        assert_eq!((0..3).choose_multiple(&mut rng, 10).len(), 3);
+    }
+}
