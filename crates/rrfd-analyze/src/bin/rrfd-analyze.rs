@@ -1,0 +1,274 @@
+//! The `rrfd-analyze` CLI: lattice checking, race detection, and the
+//! workspace lint pass. See `rrfd_analyze` (the library) for what each
+//! analysis does; this binary is argument parsing and exit codes.
+//!
+//! Exit status: `0` clean, `1` findings or mismatch, `2` usage error.
+
+use rrfd_analyze::{lattice, lint, races};
+use rrfd_core::SystemSize;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: rrfd-analyze <command> [options]
+
+commands:
+  lattice [--depth N] [--n N] [--f F] [--check | --update] [--file PATH]
+      Compute the predicate-implication lattice over the standard zoo
+      (default n=3, f=1, depth 2) and print it as markdown. With --check,
+      compare against the `<!-- lattice:begin -->` block in PATH (default
+      EXPERIMENTS.md) and fail on drift; with --update, rewrite the block.
+
+  races <trace-file> [--expect-violations]
+      Analyze a serialized `rrfd-trace v1` or `rrfd-events v1` capture.
+      Reports covering violations, unmatched messages, cross-round
+      reordering, and data races. With --expect-violations the exit
+      status inverts: a clean trace fails (for CI fixtures that seed a
+      defect on purpose).
+
+  lint [--root DIR] [--allow PATH]
+      Token-scan crates/*/src for panic-family calls, wall-clock reads in
+      deterministic crates, and direct delivery indexing, reconciled
+      against the allowlist (default lint.allow under --root, default .).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "lattice" => run_lattice(rest),
+        "races" => run_races(rest),
+        "lint" => run_lint(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("{message}\n");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Pulls the value following a `--flag` out of `rest`, mutating it.
+fn take_value(rest: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match rest.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < rest.len() => {
+            rest.remove(i);
+            Ok(Some(rest.remove(i)))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn take_flag(rest: &mut Vec<String>, flag: &str) -> bool {
+    match rest.iter().position(|a| a == flag) {
+        Some(i) => {
+            rest.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+const LATTICE_BEGIN: &str = "<!-- lattice:begin -->";
+const LATTICE_END: &str = "<!-- lattice:end -->";
+
+fn run_lattice(args: &[String]) -> ExitCode {
+    let mut rest = args.to_vec();
+    let parsed = (|| -> Result<(u32, usize, usize, Option<String>), String> {
+        let depth = match take_value(&mut rest, "--depth")? {
+            Some(v) => v.parse().map_err(|_| format!("bad --depth {v:?}"))?,
+            None => 2,
+        };
+        let n = match take_value(&mut rest, "--n")? {
+            Some(v) => v.parse().map_err(|_| format!("bad --n {v:?}"))?,
+            None => 3,
+        };
+        let f = match take_value(&mut rest, "--f")? {
+            Some(v) => v.parse().map_err(|_| format!("bad --f {v:?}"))?,
+            None => 1,
+        };
+        let file = take_value(&mut rest, "--file")?;
+        Ok((depth, n, f, file))
+    })();
+    let (depth, n, f, file) = match parsed {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    let check = take_flag(&mut rest, "--check");
+    let update = take_flag(&mut rest, "--update");
+    if let Some(extra) = rest.first() {
+        return usage_error(&format!("unexpected argument {extra:?}"));
+    }
+    if check && update {
+        return usage_error("--check and --update are mutually exclusive");
+    }
+    let Ok(n) = SystemSize::new(n) else {
+        return usage_error("--n must be at least 1");
+    };
+
+    eprintln!(
+        "computing the implication lattice (n={}, f={f}, depth {depth})...",
+        n.get()
+    );
+    let zoo = lattice::zoo(n, f);
+    let computed = lattice::Lattice::compute(&zoo, depth);
+    let rendered = computed.render_markdown();
+
+    if !check && !update {
+        print!("{rendered}");
+        return ExitCode::SUCCESS;
+    }
+
+    let path = PathBuf::from(file.unwrap_or_else(|| "EXPERIMENTS.md".to_owned()));
+    let current = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some((before, rest_of_file)) = current.split_once(LATTICE_BEGIN) else {
+        eprintln!("{}: no `{LATTICE_BEGIN}` marker", path.display());
+        return ExitCode::FAILURE;
+    };
+    let Some((inside, after)) = rest_of_file.split_once(LATTICE_END) else {
+        eprintln!("{}: no `{LATTICE_END}` marker", path.display());
+        return ExitCode::FAILURE;
+    };
+    let fresh_inside = format!("\n{rendered}");
+    if check {
+        if inside == fresh_inside {
+            eprintln!("{}: lattice block is up to date", path.display());
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "{}: lattice block is stale — run `rrfd-analyze lattice --update` \
+                 and commit the result",
+                path.display()
+            );
+            ExitCode::FAILURE
+        }
+    } else {
+        let updated = format!("{before}{LATTICE_BEGIN}{fresh_inside}{LATTICE_END}{after}");
+        if let Err(e) = std::fs::write(&path, updated) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("{}: lattice block updated", path.display());
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_races(args: &[String]) -> ExitCode {
+    let mut rest = args.to_vec();
+    let expect_violations = take_flag(&mut rest, "--expect-violations");
+    let [path] = rest.as_slice() else {
+        return usage_error("races needs exactly one trace file");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let findings = match races::analyze_text(&text) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for finding in &findings {
+        println!("{path}: {finding}");
+    }
+    match (findings.is_empty(), expect_violations) {
+        (true, false) => {
+            eprintln!("{path}: no findings");
+            ExitCode::SUCCESS
+        }
+        (false, true) => {
+            eprintln!(
+                "{path}: {} finding(s), as expected by the fixture",
+                findings.len()
+            );
+            ExitCode::SUCCESS
+        }
+        (true, true) => {
+            eprintln!("{path}: expected violations but the trace is clean");
+            ExitCode::FAILURE
+        }
+        (false, false) => ExitCode::FAILURE,
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut rest = args.to_vec();
+    let parsed = (|| -> Result<(PathBuf, PathBuf), String> {
+        let root =
+            PathBuf::from(take_value(&mut rest, "--root")?.unwrap_or_else(|| ".".to_owned()));
+        let allow = match take_value(&mut rest, "--allow")? {
+            Some(p) => PathBuf::from(p),
+            None => root.join("lint.allow"),
+        };
+        Ok((root, allow))
+    })();
+    let (root, allow_path) = match parsed {
+        Ok(p) => p,
+        Err(e) => return usage_error(&e),
+    };
+    if let Some(extra) = rest.first() {
+        return usage_error(&format!("unexpected argument {extra:?}"));
+    }
+    let findings = match lint::scan_workspace(&root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("scan failed under {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let allowances = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match lint::parse_allowlist(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("{}: {e}", allow_path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Vec::new(), // no allowlist: every finding is a violation
+    };
+    let report = lint::reconcile(&findings, &allowances);
+    for notice in &report.notices {
+        eprintln!("notice: {notice}");
+    }
+    if report.is_clean() {
+        eprintln!(
+            "lint clean: {} finding(s), all within allowlisted budgets",
+            findings.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for violation in &report.violations {
+            eprintln!("{violation}");
+        }
+        eprintln!(
+            "lint failed: {} violation line(s) — fix them or ratchet lint.allow \
+             with a justification",
+            report.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}

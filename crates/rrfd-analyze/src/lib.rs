@@ -1,0 +1,27 @@
+//! Analyses over the RRFD workspace, surfaced through the
+//! `rrfd-analyze` CLI and consumed by CI:
+//!
+//! * [`lattice`] — decides every pairwise implication between the
+//!   predicates of the `rrfd-models` zoo by bounded-exhaustive
+//!   enumeration of fault patterns, producing a machine-checked Hasse
+//!   diagram of the paper's submodel lattice and replayable
+//!   counterexample certificates for the non-implications.
+//! * [`races`] — rebuilds happens-before over captured `rrfd-trace v1` /
+//!   `rrfd-events v1` traces with vector clocks, reporting covering
+//!   violations, cross-round reordering and data races.
+//! * [`lint`] — a dependency-free token scanner enforcing the
+//!   workspace's no-panic / no-wall-clock / no-direct-index invariants
+//!   with an allowlist ratchet.
+//!
+//! ```text
+//! cargo run --release -p rrfd-analyze --bin rrfd-analyze -- lattice
+//! cargo run -p rrfd-analyze --bin rrfd-analyze -- races trace.txt
+//! cargo run -p rrfd-analyze --bin rrfd-analyze -- lint
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lattice;
+pub mod lint;
+pub mod races;

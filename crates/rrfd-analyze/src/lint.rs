@@ -1,0 +1,590 @@
+//! A dependency-free lint pass over the workspace's library code.
+//!
+//! Three lints, each encoding a project invariant the compiler cannot:
+//!
+//! * **`panic-family`** — `.unwrap()`, `.expect(` and `panic!` in
+//!   non-test library code. PR 1 introduced typed error enums
+//!   (`EngineError`, `ThreadedError`, `ExploreError`); new code should
+//!   propagate them rather than abort.
+//! * **`wall-clock`** — `Instant::now` / `SystemTime::now` inside the
+//!   deterministic crates (`rrfd-core`, `rrfd-models`, `rrfd-sims`,
+//!   `rrfd-protocols`). Determinism is what makes traces replayable;
+//!   reading the wall clock breaks it silently.
+//! * **`direct-index`** — `received[` in protocol code: indexing the
+//!   delivery array directly bypasses the suspected-process `Option`
+//!   check that the covering property hinges on.
+//!
+//! The scanner is a line-oriented token matcher, not a parser: it strips
+//! block/line comments and string literals, and skips `#[cfg(test)]`
+//! modules by brace counting. `src/bin/` trees are excluded (CLIs may
+//! abort). Findings are reconciled against an allowlist file whose
+//! entries name a budget per `(lint, file)`:
+//!
+//! ```text
+//! panic-family crates/rrfd-core/src/task.rs 2  # consensus spec violations are test-facing asserts
+//! ```
+//!
+//! More findings than budgeted → failure. Fewer → a ratchet notice
+//! (tighten the budget). Entries matching nothing → an unused notice.
+//! The allowlist can therefore only shrink over time.
+
+use rrfd_core::LineError;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which lint fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintKind {
+    /// `.unwrap()` / `.expect(` / `panic!` in library code.
+    PanicFamily,
+    /// `Instant::now` / `SystemTime::now` in a deterministic crate.
+    WallClock,
+    /// `received[` — direct indexing past the suspicion check.
+    DirectIndex,
+}
+
+impl LintKind {
+    /// The name used in reports and allowlist files.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::PanicFamily => "panic-family",
+            LintKind::WallClock => "wall-clock",
+            LintKind::DirectIndex => "direct-index",
+        }
+    }
+
+    fn parse(token: &str) -> Option<Self> {
+        match token {
+            "panic-family" => Some(LintKind::PanicFamily),
+            "wall-clock" => Some(LintKind::WallClock),
+            "direct-index" => Some(LintKind::DirectIndex),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One raw finding: a lint token in non-test library code.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// Which lint fired.
+    pub kind: LintKind,
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.kind, self.excerpt
+        )
+    }
+}
+
+/// One allowlist entry: a finding budget for `(lint, file)`.
+#[derive(Debug, Clone)]
+pub struct Allowance {
+    /// The budgeted lint.
+    pub kind: LintKind,
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// How many findings are tolerated.
+    pub budget: usize,
+}
+
+/// Parses an allowlist file: one `<lint> <path> <count>` entry per line,
+/// `#` starts a comment, blank lines ignored.
+///
+/// # Errors
+///
+/// Returns a [`LineError`] naming the first malformed line.
+pub fn parse_allowlist(text: &str) -> Result<Vec<Allowance>, LineError> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or_default().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let entry = (|| {
+            let kind = LintKind::parse(tokens.next()?)?;
+            let path = tokens.next()?.to_owned();
+            let budget: usize = tokens.next()?.parse().ok()?;
+            if tokens.next().is_some() {
+                return None;
+            }
+            Some(Allowance { kind, path, budget })
+        })();
+        match entry {
+            Some(a) => entries.push(a),
+            None => {
+                return Err(LineError::new(
+                    line_no,
+                    format!("expected `<lint> <path> <count>`, got {line:?}"),
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// The outcome of reconciling findings against an allowlist.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings exceeding their budget (or with no budget at all). Any
+    /// entry here means the pass fails.
+    pub violations: Vec<String>,
+    /// Non-fatal observations: under-used or unused budgets to ratchet.
+    pub notices: Vec<String>,
+}
+
+impl LintReport {
+    /// `true` when the pass succeeded (notices are allowed).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Reconciles raw findings against the allowlist budgets.
+#[must_use]
+pub fn reconcile(findings: &[LintFinding], allowances: &[Allowance]) -> LintReport {
+    let mut report = LintReport::default();
+    let budget_of = |kind: LintKind, path: &str| {
+        allowances
+            .iter()
+            .find(|a| a.kind == kind && a.path == path)
+            .map(|a| a.budget)
+    };
+    // Group findings by (kind, path), preserving first-seen order.
+    let mut groups: Vec<(LintKind, &str, Vec<&LintFinding>)> = Vec::new();
+    for finding in findings {
+        match groups
+            .iter_mut()
+            .find(|(k, p, _)| *k == finding.kind && *p == finding.path)
+        {
+            Some((_, _, list)) => list.push(finding),
+            None => groups.push((finding.kind, &finding.path, vec![finding])),
+        }
+    }
+    for (kind, path, list) in &groups {
+        match budget_of(*kind, path) {
+            None => {
+                for f in list {
+                    report.violations.push(f.to_string());
+                }
+            }
+            Some(budget) if list.len() > budget => {
+                report.violations.push(format!(
+                    "{path}: {} `{kind}` findings exceed the allowlisted budget of {budget}:",
+                    list.len()
+                ));
+                for f in list {
+                    report.violations.push(format!("  {f}"));
+                }
+            }
+            Some(budget) if list.len() < budget => {
+                report.notices.push(format!(
+                    "{path}: only {} `{kind}` findings against a budget of {budget} — \
+                     ratchet the allowlist down",
+                    list.len()
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for a in allowances {
+        let used = groups.iter().any(|(k, p, _)| *k == a.kind && *p == a.path);
+        if !used {
+            report.notices.push(format!(
+                "unused allowlist entry: {} {} {}",
+                a.kind, a.path, a.budget
+            ));
+        }
+    }
+    report
+}
+
+/// Scans every `crates/*/src` tree under `root`, excluding `src/bin/`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking and file reads.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<LintFinding>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let path = entry?.path();
+        if path.join("src").is_dir() {
+            crate_dirs.push(path);
+        }
+    }
+    crate_dirs.sort();
+    let mut findings = Vec::new();
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut files = Vec::new();
+        collect_rs_files(&crate_dir.join("src"), &mut files)?;
+        files.sort();
+        for file in files {
+            let text = std::fs::read_to_string(&file)?;
+            let rel = relative_display(root, &file);
+            scan_file(&crate_name, &rel, &text, &mut findings);
+        }
+    }
+    Ok(findings)
+}
+
+fn relative_display(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            // CLIs under src/bin/ may legitimately abort on bad input.
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Crates whose code must stay deterministic (replayable traces).
+const DETERMINISTIC_CRATES: &[&str] = &["rrfd-core", "rrfd-models", "rrfd-sims", "rrfd-protocols"];
+
+/// Scans one file's text, appending findings. Exposed for testing the
+/// scanner on synthetic sources.
+pub fn scan_file(crate_name: &str, rel_path: &str, text: &str, out: &mut Vec<LintFinding>) {
+    let wall_clock_applies = DETERMINISTIC_CRATES.contains(&crate_name);
+    let mut strip = StripState::default();
+    // Once a `#[cfg(test)]` attribute is seen, skip from its first `{`
+    // until the brace depth returns to zero.
+    let mut pending_test_attr = false;
+    let mut test_depth = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = strip_noncode(raw, &mut strip);
+        if code.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+        if pending_test_attr || test_depth > 0 {
+            let opens = code.matches('{').count();
+            let closes = code.matches('}').count();
+            if pending_test_attr && opens > 0 {
+                pending_test_attr = false;
+                test_depth = opens;
+                test_depth = test_depth.saturating_sub(closes);
+            } else if test_depth > 0 {
+                test_depth += opens;
+                test_depth = test_depth.saturating_sub(closes);
+            }
+            continue;
+        }
+        let mut hit = |kind: LintKind| {
+            out.push(LintFinding {
+                kind,
+                path: rel_path.to_owned(),
+                line: line_no,
+                excerpt: raw.trim().to_owned(),
+            });
+        };
+        if code.contains(".unwrap()") || code.contains(".expect(") || code.contains("panic!") {
+            hit(LintKind::PanicFamily);
+        }
+        if wall_clock_applies && (code.contains("Instant::now") || code.contains("SystemTime::now"))
+        {
+            hit(LintKind::WallClock);
+        }
+        if code.contains("received[") {
+            hit(LintKind::DirectIndex);
+        }
+    }
+}
+
+/// Scanner state carried across physical lines: block-comment nesting and
+/// whether a string literal (possibly multi-line, with `\` continuations)
+/// is still open.
+#[derive(Default)]
+struct StripState {
+    block_depth: usize,
+    in_string: bool,
+}
+
+/// Removes block comments, line comments, string and char literals from a
+/// line, tracking comment nesting and open strings across lines. What
+/// remains is the code the token matcher may inspect.
+fn strip_noncode(line: &str, state: &mut StripState) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if state.in_string {
+            // Inside a string literal: skip to the unescaped closing
+            // quote, which may be on a later line. (Raw strings with
+            // embedded quotes are not handled; the workspace does not use
+            // them on lint-relevant lines.)
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    state.in_string = false;
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+            continue;
+        }
+        if state.block_depth > 0 {
+            if bytes[i..].starts_with(b"*/") {
+                state.block_depth -= 1;
+                i += 2;
+            } else if bytes[i..].starts_with(b"/*") {
+                state.block_depth += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if bytes[i..].starts_with(b"//") {
+            break; // line comment: rest of the line is not code
+        }
+        if bytes[i..].starts_with(b"/*") {
+            state.block_depth += 1;
+            i += 2;
+            continue;
+        }
+        match bytes[i] {
+            b'"' => {
+                state.in_string = true;
+                i += 1;
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\'') vs lifetime ('a in `&'a`).
+                // A literal closes with a quote within a few bytes.
+                let rest = &bytes[i + 1..];
+                let close = if rest.first() == Some(&b'\\') {
+                    rest.iter().skip(1).position(|&b| b == b'\'').map(|p| p + 1)
+                } else {
+                    (rest.get(1) == Some(&b'\'')).then_some(1)
+                };
+                match close {
+                    Some(offset) => i += offset + 2, // skip the whole literal
+                    None => {
+                        out.push('\''); // lifetime: keep and move on
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(text: &str) -> Vec<LintFinding> {
+        let mut out = Vec::new();
+        scan_file("rrfd-core", "crates/rrfd-core/src/x.rs", text, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_the_panic_family() {
+        let found = scan(
+            "fn f() {\n    let x = y.unwrap();\n    z.expect(\"boom\");\n    panic!(\"no\");\n}\n",
+        );
+        assert_eq!(found.len(), 3);
+        assert!(found.iter().all(|f| f.kind == LintKind::PanicFamily));
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let found = scan(
+            "// a.unwrap() in a comment\n\
+             /* panic!(\"nope\") */\n\
+             let s = \".unwrap()\";\n\
+             /// docs may say panic! freely\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn multiline_block_comments_are_skipped() {
+        let found = scan("/*\n x.unwrap()\n panic!()\n*/\nfn ok() {}\n");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let found = scan(
+            "fn lib() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn t() { x.unwrap(); }\n\
+             }\n\
+             fn after() { y.unwrap(); }\n",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 6);
+    }
+
+    #[test]
+    fn multiline_strings_stay_strings() {
+        // A string continued across lines must not leak its contents —
+        // including a `#[cfg(test)]` inside it — into the code channel.
+        let found = scan(
+            "let s = \"first line \\\n     #[cfg(test)] \\\n     .unwrap() end\";\nx.unwrap();\n",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 4);
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_the_line() {
+        // The ',' literal must not open a "string" that hides the unwrap.
+        let found = scan("let c = ','; x.unwrap();\n");
+        assert_eq!(found.len(), 1);
+        // And lifetimes must not either.
+        let found = scan("fn f<'a>(x: &'a T) { x.unwrap(); }\n");
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_only_fires_in_deterministic_crates() {
+        let mut out = Vec::new();
+        scan_file(
+            "rrfd-sims",
+            "crates/rrfd-sims/src/x.rs",
+            "Instant::now()\n",
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, LintKind::WallClock);
+        let mut out = Vec::new();
+        scan_file(
+            "rrfd-runtime",
+            "crates/rrfd-runtime/src/x.rs",
+            "Instant::now()\n",
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn direct_indexing_is_flagged() {
+        let found = scan("let m = d.received[j];\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, LintKind::DirectIndex);
+    }
+
+    #[test]
+    fn allowlist_parses_and_rejects_garbage() {
+        let entries = parse_allowlist(
+            "# header comment\n\
+             \n\
+             panic-family crates/rrfd-core/src/task.rs 2  # asserts\n\
+             wall-clock crates/rrfd-sims/src/x.rs 1\n",
+        )
+        .unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].budget, 2);
+        let err = parse_allowlist("panic-family only-two\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(parse_allowlist("mystery-lint a/b.rs 1\n").is_err());
+    }
+
+    fn finding(kind: LintKind, path: &str) -> LintFinding {
+        LintFinding {
+            kind,
+            path: path.to_owned(),
+            line: 1,
+            excerpt: "x".to_owned(),
+        }
+    }
+
+    #[test]
+    fn reconcile_enforces_budgets() {
+        let f = vec![
+            finding(LintKind::PanicFamily, "a.rs"),
+            finding(LintKind::PanicFamily, "a.rs"),
+        ];
+        // No budget: both are violations.
+        assert_eq!(reconcile(&f, &[]).violations.len(), 2);
+        // Exact budget: clean, no notices.
+        let exact = reconcile(
+            &f,
+            &[Allowance {
+                kind: LintKind::PanicFamily,
+                path: "a.rs".to_owned(),
+                budget: 2,
+            }],
+        );
+        assert!(exact.is_clean() && exact.notices.is_empty(), "{exact:?}");
+        // Over budget: fails, listing the findings.
+        let over = reconcile(
+            &f,
+            &[Allowance {
+                kind: LintKind::PanicFamily,
+                path: "a.rs".to_owned(),
+                budget: 1,
+            }],
+        );
+        assert!(!over.is_clean());
+        // Under budget: clean but nags to ratchet.
+        let under = reconcile(
+            &f,
+            &[Allowance {
+                kind: LintKind::PanicFamily,
+                path: "a.rs".to_owned(),
+                budget: 5,
+            }],
+        );
+        assert!(under.is_clean());
+        assert_eq!(under.notices.len(), 1);
+        // Unused entries surface as notices.
+        let unused = reconcile(
+            &[],
+            &[Allowance {
+                kind: LintKind::WallClock,
+                path: "b.rs".to_owned(),
+                budget: 1,
+            }],
+        );
+        assert!(unused.is_clean());
+        assert!(unused.notices[0].contains("unused"));
+    }
+}

@@ -145,7 +145,7 @@ impl<O: Clone> RunReport<O> {
             .iter()
             .map(|d| d.as_ref().map(|&(_, r)| r))
             .collect::<Option<Vec<_>>>()
-            .map(|rs| rs.into_iter().max().expect("non-empty system"))
+            .and_then(|rs| rs.into_iter().max())
     }
 }
 

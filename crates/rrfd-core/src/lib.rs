@@ -26,6 +26,10 @@
 //! * [`RunTrace`], [`TraceBuilder`] — serializable records of whole runs
 //!   (every `D(i,r)`, every `S(i,r)`, decisions, violations) for the
 //!   capture → replay debugging workflow.
+//! * [`EventLog`], [`RtEvent`] — runtime-level event records (channel
+//!   sends/receives, shared-state accesses) consumed by the happens-before
+//!   race checker in `rrfd-analyze`; [`lineformat`] holds the shared
+//!   line-oriented serialization dialect all trace formats use.
 //! * [`task`] — checkable task specifications (consensus, k-set agreement,
 //!   adopt-commit).
 //!
@@ -37,9 +41,11 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod events;
 mod full_info;
 mod id;
 mod idset;
+pub mod lineformat;
 mod pattern;
 mod predicate;
 pub mod task;
@@ -49,9 +55,11 @@ pub use engine::{
     Control, Delivery, Engine, EngineError, FaultDetector, RoundProtocol, RunReport,
     DEFAULT_MAX_ROUNDS,
 };
+pub use events::{Actor, EventLog, RtEvent, RtEventKind};
 pub use full_info::{KnowledgeMatrix, KnowledgeProtocol, KnowledgeState};
 pub use id::{InvalidSystemSize, ProcessId, Round, SystemSize, MAX_PROCESSES};
 pub use idset::{IdSet, Iter};
+pub use lineformat::LineError;
 pub use pattern::{FaultPattern, RoundFaults};
 pub use predicate::{
     ill_formed_process, validate_round, And, AnyPattern, Or, PatternViolation, RrfdPredicate,

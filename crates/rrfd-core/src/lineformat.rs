@@ -1,0 +1,212 @@
+//! Shared helpers for the workspace's line-oriented text formats.
+//!
+//! Three serialized artifacts share one dialect: run traces
+//! (`rrfd-trace v1`, [`crate::RunTrace`]), scheduler traces
+//! (`rrfd-sched v1`, `rrfd-sims::trace::ScheduleTrace`) and runtime event
+//! logs (`rrfd-events v1`, [`crate::EventLog`]). Each is a versioned header
+//! line followed by one record per line, with process ids written as
+//! decimal indices, process sets as comma-separated indices (`-` for the
+//! empty set), and named fields as `key=value` tokens. This module is the
+//! single definition of those primitives, so every parser in the workspace
+//! accepts and produces the same syntax — the `rrfd-analyze` tooling
+//! consumes all three formats through these helpers.
+
+use crate::id::{ProcessId, SystemSize, MAX_PROCESSES};
+use crate::idset::IdSet;
+use std::fmt;
+
+/// A parse failure in any line-oriented format: the 1-based line number and
+/// a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineError {
+    /// 1-based line number of the offending line (0 when the problem is the
+    /// document as a whole, e.g. a missing trailer).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl LineError {
+    /// Creates an error at `line`.
+    #[must_use]
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        LineError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LineError {}
+
+/// Parses a process id token (a decimal index), range-checked against
+/// [`MAX_PROCESSES`].
+///
+/// # Errors
+///
+/// Returns a description of the malformed token.
+pub fn parse_process_id(token: &str) -> Result<ProcessId, String> {
+    let idx: usize = token
+        .parse()
+        .map_err(|_| format!("bad process id {token:?}"))?;
+    if idx >= MAX_PROCESSES {
+        return Err(format!("process id {idx} out of range"));
+    }
+    Ok(ProcessId::new(idx))
+}
+
+/// Parses a process-set token: `-` for the empty set, otherwise
+/// comma-separated indices, each checked against the `n`-process universe.
+///
+/// # Errors
+///
+/// Returns a description of the malformed token or out-of-universe id.
+pub fn parse_idset(token: &str, n: SystemSize) -> Result<IdSet, String> {
+    if token == "-" {
+        return Ok(IdSet::empty());
+    }
+    let mut set = IdSet::empty();
+    for part in token.split(',') {
+        let id = parse_process_id(part)?;
+        if !n.contains(id) {
+            return Err(format!(
+                "process id {} outside the {}-process universe",
+                id.index(),
+                n.get()
+            ));
+        }
+        set.insert(id);
+    }
+    Ok(set)
+}
+
+/// Displays a process set in the shared token syntax (`-` / `0,2,3`).
+///
+/// # Examples
+///
+/// ```
+/// use rrfd_core::{lineformat::DisplayIdSet, IdSet, ProcessId};
+/// assert_eq!(DisplayIdSet(IdSet::empty()).to_string(), "-");
+/// let set = IdSet::singleton(ProcessId::new(2));
+/// assert_eq!(DisplayIdSet(set).to_string(), "2");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DisplayIdSet(pub IdSet);
+
+impl fmt::Display for DisplayIdSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("-");
+        }
+        for (k, p) in self.0.iter().enumerate() {
+            if k > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{}", p.index())?;
+        }
+        Ok(())
+    }
+}
+
+/// Extracts the value of a `key=value` token, verifying the key.
+///
+/// # Errors
+///
+/// Returns a description when the token is not `key=...`.
+pub fn parse_kv<'a>(token: &'a str, key: &str) -> Result<&'a str, String> {
+    token
+        .strip_prefix(key)
+        .and_then(|t| t.strip_prefix('='))
+        .ok_or_else(|| format!("expected `{key}=...`, found {token:?}"))
+}
+
+/// Checks the versioned header line and returns an iterator over the
+/// remaining non-empty lines as `(1-based line number, trimmed text)`.
+///
+/// # Errors
+///
+/// Returns a [`LineError`] when the first line is not exactly `header`.
+pub fn body_lines<'a>(
+    text: &'a str,
+    header: &str,
+) -> Result<impl Iterator<Item = (usize, &'a str)>, LineError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(first) if first.trim() == header => {}
+        other => {
+            return Err(LineError::new(
+                1,
+                format!(
+                    "expected header {header:?}, got {:?}",
+                    other.unwrap_or_default()
+                ),
+            ))
+        }
+    }
+    Ok(text
+        .lines()
+        .enumerate()
+        .skip(1)
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: usize) -> SystemSize {
+        SystemSize::new(v).unwrap()
+    }
+
+    #[test]
+    fn process_ids_parse_and_reject() {
+        assert_eq!(parse_process_id("3"), Ok(ProcessId::new(3)));
+        assert!(parse_process_id("x").is_err());
+        assert!(parse_process_id("-1").is_err());
+        assert!(parse_process_id("9999").is_err());
+    }
+
+    #[test]
+    fn idsets_round_trip_through_tokens() {
+        let size = n(4);
+        for set in [
+            IdSet::empty(),
+            IdSet::singleton(ProcessId::new(1)),
+            IdSet::universe(size),
+        ] {
+            let token = DisplayIdSet(set).to_string();
+            assert_eq!(parse_idset(&token, size), Ok(set), "{token}");
+        }
+        assert!(parse_idset("7", size).is_err(), "outside the universe");
+        assert!(parse_idset("0,,1", size).is_err());
+    }
+
+    #[test]
+    fn kv_tokens_are_checked() {
+        assert_eq!(parse_kv("r=17", "r"), Ok("17"));
+        assert!(parse_kv("round17", "round").is_err());
+        assert!(parse_kv("s=17", "r").is_err());
+    }
+
+    #[test]
+    fn body_lines_requires_the_header() {
+        let doc = "hdr v1\n\n a b \nlast\n";
+        let lines: Vec<_> = body_lines(doc, "hdr v1").unwrap().collect();
+        assert_eq!(lines, vec![(3, "a b"), (4, "last")]);
+        assert!(body_lines(doc, "other v1").is_err());
+        assert!(body_lines("", "hdr v1").is_err());
+    }
+
+    #[test]
+    fn line_error_displays_its_position() {
+        let e = LineError::new(7, "boom");
+        assert_eq!(e.to_string(), "parse error at line 7: boom");
+    }
+}

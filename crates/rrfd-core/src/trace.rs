@@ -28,6 +28,7 @@
 
 use crate::id::{ProcessId, Round, SystemSize, MAX_PROCESSES};
 use crate::idset::IdSet;
+use crate::lineformat::{self, DisplayIdSet, LineError};
 use crate::pattern::{FaultPattern, RoundFaults};
 use crate::predicate::PatternViolation;
 use std::fmt;
@@ -210,16 +211,7 @@ impl TraceBuilder {
 }
 
 fn write_idset(f: &mut fmt::Formatter<'_>, set: IdSet) -> fmt::Result {
-    if set.is_empty() {
-        return f.write_str("-");
-    }
-    for (k, p) in set.iter().enumerate() {
-        if k > 0 {
-            f.write_str(",")?;
-        }
-        write!(f, "{}", p.index())?;
-    }
-    Ok(())
+    write!(f, "{}", DisplayIdSet(set))
 }
 
 impl fmt::Display for RunTrace {
@@ -251,58 +243,14 @@ impl fmt::Display for RunTrace {
     }
 }
 
-/// Why a serialized trace failed to parse.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseTraceError {
-    line: usize,
-    message: String,
-}
-
-impl ParseTraceError {
-    fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseTraceError {
-            line,
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for ParseTraceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "trace parse error at line {}: {}",
-            self.line, self.message
-        )
-    }
-}
-
-impl std::error::Error for ParseTraceError {}
-
-fn parse_idset(token: &str, n: SystemSize, line: usize) -> Result<IdSet, ParseTraceError> {
-    if token == "-" {
-        return Ok(IdSet::empty());
-    }
-    let mut set = IdSet::empty();
-    for part in token.split(',') {
-        let idx: usize = part
-            .parse()
-            .map_err(|_| ParseTraceError::new(line, format!("bad process id {part:?}")))?;
-        if idx >= n.get() || idx >= MAX_PROCESSES {
-            return Err(ParseTraceError::new(
-                line,
-                format!("process id {idx} outside the {}-process universe", n.get()),
-            ));
-        }
-        set.insert(ProcessId::new(idx));
-    }
-    Ok(set)
-}
+/// Why a serialized trace failed to parse. An alias of the workspace-wide
+/// [`LineError`] — every line-oriented format shares the same error shape.
+pub type ParseTraceError = LineError;
 
 fn parse_set_line(rest: &str, n: SystemSize, line: usize) -> Result<Vec<IdSet>, ParseTraceError> {
     let sets: Vec<IdSet> = rest
         .split_whitespace()
-        .map(|tok| parse_idset(tok, n, line))
+        .map(|tok| lineformat::parse_idset(tok, n).map_err(|m| ParseTraceError::new(line, m)))
         .collect::<Result<_, _>>()?;
     if sets.len() != n.get() {
         return Err(ParseTraceError::new(
@@ -314,10 +262,7 @@ fn parse_set_line(rest: &str, n: SystemSize, line: usize) -> Result<Vec<IdSet>, 
 }
 
 fn parse_kv<'a>(token: &'a str, key: &str, line: usize) -> Result<&'a str, ParseTraceError> {
-    token
-        .strip_prefix(key)
-        .and_then(|t| t.strip_prefix('='))
-        .ok_or_else(|| ParseTraceError::new(line, format!("expected `{key}=...`, found {token:?}")))
+    lineformat::parse_kv(token, key).map_err(|m| ParseTraceError::new(line, m))
 }
 
 fn parse_outcome(rest: &str, line: usize) -> Result<TraceOutcome, ParseTraceError> {

@@ -1,11 +1,12 @@
 //! Exhaustive enumeration of fault-detector rounds for small systems.
 //!
 //! A round of an RRFD over `n` processes is a choice of one subset per
-//! process — `(2ⁿ)ⁿ` possibilities. For `n ≤ 4` that is at most 65 536,
-//! small enough to enumerate completely; filtering by a model predicate
-//! then yields *every* move the adversary could legally make, which turns
-//! sampled protocol tests into proofs-by-enumeration (e.g. Theorem 3.1 for
-//! small `n`, in `rrfd-protocols`).
+//! process — `(2ⁿ)ⁿ` possibilities. For `n ≤ 5` that is at most ~33.5
+//! million, small enough to enumerate completely (if slowly at the top
+//! end); filtering by a model predicate then yields *every* move the
+//! adversary could legally make, which turns sampled protocol tests into
+//! proofs-by-enumeration (e.g. Theorem 3.1 for small `n`, in
+//! `rrfd-protocols`) and powers the implication lattice in `rrfd-analyze`.
 
 use rrfd_core::{FaultPattern, IdSet, ProcessId, RoundFaults, RrfdPredicate, SystemSize};
 
@@ -14,10 +15,10 @@ use rrfd_core::{FaultPattern, IdSet, ProcessId, RoundFaults, RrfdPredicate, Syst
 ///
 /// # Panics
 ///
-/// Panics for `n > 4` — the space is `2^(n²)` and enumeration beyond
-/// `n = 4` is a mistake.
+/// Panics for `n > 5` — the space is `2^(n²)` and enumeration beyond
+/// `n = 5` is a mistake.
 pub fn all_rounds(n: SystemSize) -> impl Iterator<Item = RoundFaults> {
-    assert!(n.get() <= 4, "exhaustive enumeration is for n ≤ 4");
+    assert!(n.get() <= 5, "exhaustive enumeration is for n ≤ 5");
     let procs = n.get();
     let subsets = 1u64 << procs; // 2^n bitmaps per process
     let total = subsets.pow(procs as u32);
@@ -154,8 +155,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "n ≤ 4")]
+    fn four_process_rounds_enumerate_fully() {
+        // (2⁴ − 1)⁴ = 50 625 well-formed rounds; n = 5 would be
+        // (2⁵ − 1)⁵ ≈ 28.6M, still enumerable but too slow for a unit test.
+        assert_eq!(all_rounds(n(4)).count(), 50_625);
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≤ 5")]
     fn large_systems_are_rejected() {
-        let _ = all_rounds(SystemSize::new(5).unwrap()).count();
+        let _ = all_rounds(SystemSize::new(6).unwrap()).count();
     }
 }

@@ -453,7 +453,7 @@ mod tests {
         // schedules) and check the full specification on each — a
         // proof-by-enumeration for n = 2.
         use rrfd_core::task::AdoptCommitSpec;
-        use rrfd_sims::explore::explore_schedules;
+        use rrfd_sims::explore::explore_schedules_checked;
         use rrfd_sims::shared_mem::SharedMemSim;
 
         let size = n(2);
@@ -466,17 +466,18 @@ mod tests {
                 ]
             };
             let mut runs = 0usize;
-            let total = explore_schedules(
+            let total = explore_schedules_checked(
                 &sim,
                 make,
                 |report| {
                     runs += 1;
                     AdoptCommitSpec
                         .check(&inputs, &report.outputs)
-                        .unwrap_or_else(|v| panic!("inputs {inputs:?}, schedule #{runs}: {v}"));
+                        .map_err(|v| format!("inputs {inputs:?}, schedule #{runs}: {v}"))
                 },
                 10_000,
-            );
+            )
+            .unwrap_or_else(|cex| panic!("{cex}"));
             assert_eq!(total, 3432, "inputs {inputs:?}");
         }
     }

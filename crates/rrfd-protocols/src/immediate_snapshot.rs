@@ -268,34 +268,41 @@ mod tests {
         report.outputs
     }
 
-    fn check_is_properties(views: &[Option<IdSet>]) {
+    fn try_check_is_properties(views: &[Option<IdSet>]) -> Result<(), String> {
         for (i, vi) in views.iter().enumerate() {
             let Some(vi) = vi else { continue };
             // Self-inclusion.
-            assert!(vi.contains(ProcessId::new(i)), "p{i} missing from own view");
+            if !vi.contains(ProcessId::new(i)) {
+                return Err(format!("p{i} missing from own view"));
+            }
             for (j, vj) in views.iter().enumerate() {
                 let Some(vj) = vj else { continue };
                 // Containment.
-                assert!(
-                    vi.is_subset(*vj) || vj.is_subset(*vi),
-                    "views of p{i} and p{j} incomparable: {vi:?} vs {vj:?}"
-                );
+                if !(vi.is_subset(*vj) || vj.is_subset(*vi)) {
+                    return Err(format!(
+                        "views of p{i} and p{j} incomparable: {vi:?} vs {vj:?}"
+                    ));
+                }
                 // Immediacy.
-                if vi.contains(ProcessId::new(j)) {
-                    assert!(
-                        vj.is_subset(*vi),
+                if vi.contains(ProcessId::new(j)) && !vj.is_subset(*vi) {
+                    return Err(format!(
                         "immediacy broken: p{j} ∈ view(p{i}) but view(p{j}) ⊄"
-                    );
+                    ));
                 }
             }
         }
+        Ok(())
+    }
+
+    fn check_is_properties(views: &[Option<IdSet>]) {
+        try_check_is_properties(views).unwrap_or_else(|msg| panic!("{msg}"));
     }
 
     #[test]
     fn exhaustive_two_process_verification() {
         // Every interleaving of two participants: check self-inclusion,
         // containment and immediacy on all of them.
-        use rrfd_sims::explore::explore_schedules;
+        use rrfd_sims::explore::explore_schedules_checked;
 
         let size = n(2);
         let sim = SharedMemSim::new(size, ImmediateSnapshot::BANKS).with_snapshots();
@@ -305,14 +312,13 @@ mod tests {
                 IsDriver::new(ImmediateSnapshot::new(size, ProcessId::new(1), 1)),
             ]
         };
-        let total = explore_schedules(
+        let total = explore_schedules_checked(
             &sim,
             make,
-            |report| {
-                check_is_properties(&report.outputs);
-            },
+            |report| try_check_is_properties(&report.outputs),
             100_000,
-        );
+        )
+        .unwrap_or_else(|cex| panic!("{cex}"));
         // The step counts vary by schedule (the until-loop), so just
         // require genuine coverage.
         assert!(total > 100, "only {total} schedules explored");

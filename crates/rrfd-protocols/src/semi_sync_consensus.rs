@@ -329,7 +329,7 @@ mod tests {
         // Enumerate EVERY semi-synchronous schedule (including every
         // possible crash placement within the budget) for n = 2 and 3:
         // Theorem 5.1 and the 2-step consensus, proved by enumeration.
-        use rrfd_sims::explore::semi_sync::explore_semi_sync;
+        use rrfd_sims::explore::semi_sync::explore_semi_sync_checked;
         use rrfd_sims::semi_sync::SemiSyncSim;
 
         for (nv, crashes) in [(2usize, 1usize), (3, 1), (3, 2)] {
@@ -343,7 +343,7 @@ mod tests {
                     .collect::<Vec<_>>()
             };
             let mut explored = 0usize;
-            let total = explore_semi_sync(
+            let total = explore_semi_sync_checked(
                 &sim,
                 crashes,
                 make,
@@ -355,26 +355,35 @@ mod tests {
                         .iter()
                         .map(|o| o.as_ref().map(|&(v, _)| v))
                         .collect();
-                    task.check(&ins, &outs).unwrap_or_else(|v| {
-                        panic!("n={nv} crashes={crashes} schedule #{explored}: {v}")
-                    });
+                    task.check(&ins, &outs).map_err(|v| {
+                        format!("n={nv} crashes={crashes} schedule #{explored}: {v}")
+                    })?;
                     // Equation 5: identical views among deciders.
                     let views: Vec<IdSet> = report
                         .processes
                         .iter()
                         .filter_map(TwoStepConsensus::suspected)
                         .collect();
-                    assert!(
-                        views.windows(2).all(|w| w[0] == w[1]),
-                        "n={nv} crashes={crashes} schedule #{explored}: {views:?}"
-                    );
+                    if !views.windows(2).all(|w| w[0] == w[1]) {
+                        return Err(format!(
+                            "n={nv} crashes={crashes} schedule #{explored}: {views:?}"
+                        ));
+                    }
                     // Two steps per decider.
                     for out in report.outputs.iter().flatten() {
-                        assert_eq!(out.1, 2);
+                        if out.1 != 2 {
+                            return Err(format!(
+                                "n={nv} crashes={crashes} schedule #{explored}: \
+                                 decided in {} steps, expected 2",
+                                out.1
+                            ));
+                        }
                     }
+                    Ok(())
                 },
                 2_000_000,
-            );
+            )
+            .unwrap_or_else(|cex| panic!("{cex}"));
             assert!(total > 10, "n={nv}: only {total} schedules");
         }
     }

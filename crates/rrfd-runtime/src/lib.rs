@@ -13,7 +13,11 @@
 #![warn(missing_docs)]
 
 mod clock;
+#[cfg(feature = "analyze")]
+mod sink;
 mod threaded;
 
 pub use clock::RoundClock;
+#[cfg(feature = "analyze")]
+pub use sink::EventSink;
 pub use threaded::{RunError, ThreadedEngine, ThreadedError, ThreadedReport};

@@ -20,8 +20,13 @@ use rrfd_core::{
 };
 use std::fmt;
 use std::thread;
+use std::time::Duration;
 
 use crate::clock::RoundClock;
+#[cfg(feature = "analyze")]
+use crate::sink::EventSink;
+#[cfg(feature = "analyze")]
+use rrfd_core::{Actor, RtEventKind};
 
 /// Channel pair used between the coordinator and process threads.
 type EmissionChannel<M, O> = (Sender<Emission<M, O>>, Receiver<Emission<M, O>>);
@@ -141,11 +146,47 @@ impl<O: Clone> ThreadedReport<O> {
     }
 }
 
-/// How long the coordinator waits for a round's emissions before declaring
-/// a process dead. Generous: in a healthy run every thread answers in
-/// microseconds; the timeout exists only to turn a dead or wedged thread
-/// into a typed error instead of a deadlock.
-const GATHER_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+/// Reattributes channel-level failure symptoms to their panic causes.
+///
+/// The coordinator can only observe the *symptom* of a worker panic — a
+/// missing emission ([`ThreadedError::ProcessDied`]) or, in principle, every
+/// sender vanishing at once ([`ThreadedError::ChannelClosed`]). After
+/// joining the threads, `panics[i]` holds the panic message recovered from
+/// `p_i`'s join handle, and this function upgrades the symptom to a
+/// [`ThreadedError::ProcessPanicked`] cause where one is available. A
+/// symptom with no recovered payload passes through unchanged, as do
+/// successes and every other error.
+fn attribute_panics<T>(
+    result: Result<T, ThreadedError>,
+    panics: &mut [Option<String>],
+) -> Result<T, ThreadedError> {
+    match result {
+        Err(ThreadedError::ProcessDied { process }) => match panics[process.index()].take() {
+            Some(message) => Err(ThreadedError::ProcessPanicked { process, message }),
+            None => Err(ThreadedError::ProcessDied { process }),
+        },
+        Err(ThreadedError::ChannelClosed) => {
+            match panics
+                .iter_mut()
+                .enumerate()
+                .find_map(|(i, p)| p.take().map(|m| (ProcessId::new(i), m)))
+            {
+                Some((process, message)) => {
+                    Err(ThreadedError::ProcessPanicked { process, message })
+                }
+                None => Err(ThreadedError::ChannelClosed),
+            }
+        }
+        other => other,
+    }
+}
+
+/// Default for how long the coordinator waits for a round's emissions
+/// before declaring a process dead. Generous: in a healthy run every
+/// thread answers in microseconds; the timeout exists only to turn a dead
+/// or wedged thread into a typed error instead of a deadlock. Override
+/// with [`ThreadedEngine::gather_timeout`].
+const DEFAULT_GATHER_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// The threaded engine: one OS thread per process plus the caller's thread
 /// as coordinator.
@@ -178,7 +219,10 @@ const GATHER_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 pub struct ThreadedEngine {
     n: SystemSize,
     max_rounds: u32,
+    gather_timeout: Duration,
     clock: RoundClock,
+    #[cfg(feature = "analyze")]
+    sink: Option<EventSink>,
 }
 
 impl ThreadedEngine {
@@ -188,7 +232,10 @@ impl ThreadedEngine {
         ThreadedEngine {
             n,
             max_rounds: 100_000,
+            gather_timeout: DEFAULT_GATHER_TIMEOUT,
             clock: RoundClock::new(),
+            #[cfg(feature = "analyze")]
+            sink: None,
         }
     }
 
@@ -197,6 +244,35 @@ impl ThreadedEngine {
     pub fn max_rounds(mut self, max_rounds: u32) -> Self {
         self.max_rounds = max_rounds;
         self
+    }
+
+    /// Overrides how long the coordinator waits for a round's emissions
+    /// before declaring the missing process dead. Tests that deliberately
+    /// kill a worker mid-round lower this so the typed error surfaces
+    /// quickly instead of after the generous default.
+    #[must_use]
+    pub fn gather_timeout(mut self, timeout: Duration) -> Self {
+        self.gather_timeout = timeout;
+        self
+    }
+
+    /// Installs an [`EventSink`]: the coordinator and every process thread
+    /// record their channel operations and shared-state accesses into it as
+    /// the run executes, for the happens-before analysis in
+    /// `rrfd-analyze races`.
+    #[cfg(feature = "analyze")]
+    #[must_use]
+    pub fn event_sink(mut self, sink: EventSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Records one coordinator-side event, if a sink is installed.
+    #[cfg(feature = "analyze")]
+    fn record(&self, kind: RtEventKind) {
+        if let Some(sink) = &self.sink {
+            sink.record(Actor::Coordinator, kind);
+        }
     }
 
     /// A clock observers can use to watch the run's progress from other
@@ -264,11 +340,17 @@ impl ThreadedEngine {
             let emit_tx = emit_tx.clone();
             let (reply_tx, reply_rx): ReplyChannel<P::Msg> = channel::unbounded();
             reply_txs.push(reply_tx);
+            #[cfg(feature = "analyze")]
+            let sink = self.sink.clone();
             handles.push(thread::spawn(move || {
                 let mut decided: Option<P::Output> = None;
                 let mut round = Round::FIRST;
                 loop {
                     let msg = protocol.emit(round);
+                    #[cfg(feature = "analyze")]
+                    if let Some(sink) = &sink {
+                        sink.record(Actor::Process(me), RtEventKind::Emit { round });
+                    }
                     if emit_tx
                         .send(Emission {
                             from: me,
@@ -287,12 +369,23 @@ impl ThreadedEngine {
                             suspected,
                         }) => {
                             debug_assert_eq!(r, round);
+                            #[cfg(feature = "analyze")]
+                            if let Some(sink) = &sink {
+                                sink.record(Actor::Process(me), RtEventKind::Receive { round: r });
+                            }
                             if let Control::Decide(v) = protocol.deliver(Delivery {
                                 round: r,
                                 me,
                                 received: &received,
                                 suspected,
                             }) {
+                                #[cfg(feature = "analyze")]
+                                if let Some(sink) = &sink {
+                                    sink.record(
+                                        Actor::Process(me),
+                                        RtEventKind::Decide { round: r },
+                                    );
+                                }
                                 decided = Some(v);
                             }
                             round = round.next();
@@ -325,25 +418,7 @@ impl ThreadedEngine {
                 panics[i] = Some(message);
             }
         }
-        let result = match result {
-            Err(ThreadedError::ProcessDied { process }) => match panics[process.index()].take() {
-                Some(message) => Err(ThreadedError::ProcessPanicked { process, message }),
-                None => Err(ThreadedError::ProcessDied { process }),
-            },
-            Err(ThreadedError::ChannelClosed) => {
-                match panics
-                    .iter_mut()
-                    .enumerate()
-                    .find_map(|(i, p)| p.take().map(|m| (ProcessId::new(i), m)))
-                {
-                    Some((process, message)) => {
-                        Err(ThreadedError::ProcessPanicked { process, message })
-                    }
-                    None => Err(ThreadedError::ChannelClosed),
-                }
-            }
-            other => other,
-        };
+        let result = attribute_panics(result, &mut panics);
         self.clock.finish();
         (result, trace.finish(outcome))
     }
@@ -380,7 +455,7 @@ impl ThreadedEngine {
                 // peers stay alive (their sender clones keep the channel
                 // open), so bound the wait. The timeout only fires when a
                 // thread is genuinely gone or wedged.
-                let emission = match emit_rx.recv_timeout(GATHER_TIMEOUT) {
+                let emission = match emit_rx.recv_timeout(self.gather_timeout) {
                     Ok(emission) => emission,
                     Err(_) => {
                         // A process whose emission is still missing this
@@ -399,12 +474,22 @@ impl ThreadedEngine {
                     }
                 };
                 debug_assert_eq!(emission.round, round, "lock-step protocol violated");
+                #[cfg(feature = "analyze")]
+                self.record(RtEventKind::Gather {
+                    from: emission.from,
+                    round: emission.round,
+                });
                 if let Some(v) = emission.decided {
                     // Decision reached in the previous round's deliver.
                     if decisions[emission.from.index()].is_none() {
                         let decided_at = Round::new(round_no - 1);
                         decisions[emission.from.index()] = Some((v, decided_at));
                         trace.record_decision(emission.from, decided_at);
+                        #[cfg(feature = "analyze")]
+                        self.record(RtEventKind::Access {
+                            loc: "decisions".to_owned(),
+                            write: true,
+                        });
                     }
                 }
                 messages[emission.from.index()] = Some(emission.msg);
@@ -422,6 +507,8 @@ impl ThreadedEngine {
                 );
             }
 
+            #[cfg(feature = "analyze")]
+            self.record(RtEventKind::Detect { round });
             let faults = detector.next_round(round, &pattern);
             if let Err(violation) = validate_round(model, &pattern, &faults) {
                 trace.record_violating_round(faults);
@@ -452,6 +539,8 @@ impl ThreadedEngine {
                         .map(|(j, _)| ProcessId::new(j))
                         .collect::<IdSet>(),
                 );
+                #[cfg(feature = "analyze")]
+                self.record(RtEventKind::Deliver { to: me, round });
                 if reply_tx
                     .send(CoordReply::Delivery {
                         round,
@@ -468,6 +557,11 @@ impl ThreadedEngine {
             }
 
             trace.record_round(faults.clone(), heard);
+            #[cfg(feature = "analyze")]
+            self.record(RtEventKind::Access {
+                loc: "pattern".to_owned(),
+                write: true,
+            });
             pattern.push(faults);
             self.clock.advance(round_no);
         }
@@ -481,15 +575,25 @@ impl ThreadedEngine {
             // Every live thread already sent its next emission before
             // blocking on the reply; the timeout only fires if a thread
             // died, in which case the round-limit error below stands.
-            let Ok(emission) = emit_rx.recv_timeout(GATHER_TIMEOUT) else {
+            let Ok(emission) = emit_rx.recv_timeout(self.gather_timeout) else {
                 break;
             };
             gathered += 1;
+            #[cfg(feature = "analyze")]
+            self.record(RtEventKind::Gather {
+                from: emission.from,
+                round: emission.round,
+            });
             if let Some(v) = emission.decided {
                 if decisions[emission.from.index()].is_none() {
                     let decided_at = Round::new(self.max_rounds);
                     decisions[emission.from.index()] = Some((v, decided_at));
                     trace.record_decision(emission.from, decided_at);
+                    #[cfg(feature = "analyze")]
+                    self.record(RtEventKind::Access {
+                        loc: "decisions".to_owned(),
+                        write: true,
+                    });
                 }
             }
         }
@@ -776,6 +880,112 @@ mod tests {
             other => panic!("expected ProcessPanicked, got {other}"),
         }
         assert_eq!(*trace.outcome(), TraceOutcome::Aborted);
+    }
+
+    #[test]
+    fn attribute_panics_upgrades_process_died() {
+        let mut panics = vec![None, Some("boom".to_owned())];
+        let result: Result<(), _> = attribute_panics(
+            Err(ThreadedError::ProcessDied {
+                process: ProcessId::new(1),
+            }),
+            &mut panics,
+        );
+        match result.unwrap_err() {
+            ThreadedError::ProcessPanicked { process, message } => {
+                assert_eq!(process, ProcessId::new(1));
+                assert_eq!(message, "boom");
+            }
+            other => panic!("expected ProcessPanicked, got {other}"),
+        }
+    }
+
+    #[test]
+    fn attribute_panics_keeps_process_died_without_payload() {
+        let mut panics = vec![None, None];
+        let result: Result<(), _> = attribute_panics(
+            Err(ThreadedError::ProcessDied {
+                process: ProcessId::new(0),
+            }),
+            &mut panics,
+        );
+        assert!(matches!(
+            result.unwrap_err(),
+            ThreadedError::ProcessDied { .. }
+        ));
+    }
+
+    #[test]
+    fn attribute_panics_resolves_channel_closed_to_first_panicker() {
+        // ChannelClosed carries no process identity; the first recovered
+        // payload names the culprit.
+        let mut panics = vec![None, None, Some("late panic".to_owned())];
+        let result: Result<(), _> =
+            attribute_panics(Err(ThreadedError::ChannelClosed), &mut panics);
+        match result.unwrap_err() {
+            ThreadedError::ProcessPanicked { process, message } => {
+                assert_eq!(process, ProcessId::new(2));
+                assert_eq!(message, "late panic");
+            }
+            other => panic!("expected ProcessPanicked, got {other}"),
+        }
+
+        let mut no_panics = vec![None, None];
+        let result: Result<(), _> =
+            attribute_panics(Err(ThreadedError::ChannelClosed), &mut no_panics);
+        assert!(matches!(result.unwrap_err(), ThreadedError::ChannelClosed));
+    }
+
+    #[test]
+    fn attribute_panics_passes_successes_and_other_errors_through() {
+        let mut panics = vec![Some("unrelated".to_owned())];
+        let ok: Result<u32, _> = attribute_panics(Ok(7), &mut panics);
+        assert_eq!(ok.unwrap(), 7);
+        let err: Result<(), _> = attribute_panics(
+            Err(ThreadedError::RoundLimitExceeded { max_rounds: 3 }),
+            &mut panics,
+        );
+        assert!(matches!(
+            err.unwrap_err(),
+            ThreadedError::RoundLimitExceeded { max_rounds: 3 }
+        ));
+    }
+
+    #[cfg(feature = "analyze")]
+    #[test]
+    fn event_sink_captures_a_parseable_log() {
+        use crate::sink::EventSink;
+        use rrfd_core::EventLog;
+
+        let size = n(3);
+        let sink = EventSink::new(size);
+        let protos: Vec<_> = (0..3)
+            .map(|i| SumAfter {
+                rounds: 2,
+                acc: 0,
+                me: i,
+            })
+            .collect();
+        ThreadedEngine::new(size)
+            .event_sink(sink.clone())
+            .run(protos, &mut NoFailures::new(size), &AnyPattern::new(size))
+            .unwrap();
+        let log = sink.snapshot();
+        assert!(!log.is_empty());
+        // Every event kind that a healthy run exercises shows up.
+        let has = |pred: &dyn Fn(&rrfd_core::RtEventKind) -> bool| {
+            log.events().iter().any(|e| pred(&e.kind))
+        };
+        assert!(has(&|k| matches!(k, RtEventKind::Emit { .. })));
+        assert!(has(&|k| matches!(k, RtEventKind::Gather { .. })));
+        assert!(has(&|k| matches!(k, RtEventKind::Detect { .. })));
+        assert!(has(&|k| matches!(k, RtEventKind::Deliver { .. })));
+        assert!(has(&|k| matches!(k, RtEventKind::Receive { .. })));
+        assert!(has(&|k| matches!(k, RtEventKind::Decide { .. })));
+        assert!(has(&|k| matches!(k, RtEventKind::Access { .. })));
+        // And the textual form round-trips.
+        let back: EventLog = log.to_string().parse().unwrap();
+        assert_eq!(back, log);
     }
 
     #[test]

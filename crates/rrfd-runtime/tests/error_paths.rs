@@ -1,0 +1,119 @@
+//! Error-path coverage for the threaded runtime: a worker that dies
+//! mid-run must surface as a typed error — with its panic payload when one
+//! exists — instead of hanging the coordinator.
+
+use rrfd_core::{AnyPattern, Control, Delivery, ProcessId, Round, RoundProtocol, SystemSize};
+use rrfd_models::adversary::NoFailures;
+use rrfd_runtime::{ThreadedEngine, ThreadedError};
+use std::time::Duration;
+
+fn n(v: usize) -> SystemSize {
+    SystemSize::new(v).unwrap()
+}
+
+/// Panics inside `emit` once the given round is reached (for one chosen
+/// process). Dying in `emit` means the coordinator never gets the round's
+/// emission and must detect the death via its gather timeout, unlike a
+/// panic in `deliver` which the next gather notices naturally.
+struct DiesEmitting {
+    me: u64,
+    victim: bool,
+    at_round: u32,
+}
+
+impl RoundProtocol for DiesEmitting {
+    type Msg = u64;
+    type Output = u64;
+    fn emit(&mut self, r: Round) -> u64 {
+        if self.victim && r.get() >= self.at_round {
+            panic!("emit exploded at round {}", r.get());
+        }
+        self.me
+    }
+    fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
+        if d.round.get() >= 10 {
+            Control::Decide(self.me)
+        } else {
+            Control::Continue
+        }
+    }
+}
+
+#[test]
+fn gather_timeout_turns_a_dead_worker_into_a_typed_error() {
+    let size = n(3);
+    let protos: Vec<_> = (0..3)
+        .map(|i| DiesEmitting {
+            me: i,
+            victim: i == 2,
+            at_round: 2,
+        })
+        .collect();
+    let err = ThreadedEngine::new(size)
+        .gather_timeout(Duration::from_millis(200))
+        .run(protos, &mut NoFailures::new(size), &AnyPattern::new(size))
+        .unwrap_err();
+    match err {
+        ThreadedError::ProcessPanicked { process, message } => {
+            assert_eq!(process, ProcessId::new(2));
+            assert!(message.contains("emit exploded at round 2"), "{message}");
+        }
+        other => panic!("expected ProcessPanicked, got {other}"),
+    }
+}
+
+/// Panics with a non-string payload; the join-time recovery can only
+/// report a placeholder message.
+struct PanicsWithValue;
+
+impl RoundProtocol for PanicsWithValue {
+    type Msg = ();
+    type Output = ();
+    fn emit(&mut self, _r: Round) {}
+    fn deliver(&mut self, d: Delivery<'_, ()>) -> Control<()> {
+        if d.me == ProcessId::new(0) {
+            std::panic::panic_any(42u32);
+        }
+        Control::Continue
+    }
+}
+
+#[test]
+fn non_string_panic_payloads_get_a_placeholder_message() {
+    let size = n(2);
+    let err = ThreadedEngine::new(size)
+        .gather_timeout(Duration::from_millis(200))
+        .max_rounds(5)
+        .run(
+            vec![PanicsWithValue, PanicsWithValue],
+            &mut NoFailures::new(size),
+            &AnyPattern::new(size),
+        )
+        .unwrap_err();
+    match err {
+        ThreadedError::ProcessPanicked { process, message } => {
+            assert_eq!(process, ProcessId::new(0));
+            assert_eq!(message, "non-string panic payload");
+        }
+        other => panic!("expected ProcessPanicked, got {other}"),
+    }
+}
+
+#[test]
+fn wrong_process_count_is_rejected_up_front() {
+    let size = n(3);
+    let err = ThreadedEngine::new(size)
+        .run(
+            vec![PanicsWithValue],
+            &mut NoFailures::new(size),
+            &AnyPattern::new(size),
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ThreadedError::WrongProcessCount {
+            supplied: 1,
+            expected: 3
+        }
+    ));
+}

@@ -152,6 +152,12 @@ where
 ///
 /// Panics if the exploration exceeds `max_runs` schedules, or re-raises
 /// `check` panics annotated with the [`Counterexample`].
+#[deprecated(
+    since = "0.2.0",
+    note = "panics instead of returning the counterexample; use \
+            `explore_schedules_checked`, which yields a replayable \
+            `Counterexample` as a typed error"
+)]
 pub fn explore_schedules<V, P, F, G>(
     sim: &SharedMemSim,
     make: G,
@@ -296,6 +302,12 @@ pub mod semi_sync {
     ///
     /// Panics past `max_runs` schedules, or re-raises `check` panics
     /// annotated with the [`Counterexample`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "panics instead of returning the counterexample; use \
+                `explore_semi_sync_checked`, which yields a replayable \
+                `Counterexample` as a typed error"
+    )]
     pub fn explore_semi_sync<P, F, G>(
         sim: &SemiSyncSim,
         max_crashes: usize,
@@ -363,6 +375,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the panicking front-end is what's under test
     fn enumerates_all_interleavings_of_two_three_step_processes() {
         let n = SystemSize::new(2).unwrap();
         let sim = SharedMemSim::new(n, 1);
@@ -388,6 +401,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the panicking front-end is what's under test
     fn single_process_has_one_schedule() {
         let n = SystemSize::new(1).unwrap();
         let sim = SharedMemSim::new(n, 1);
@@ -411,6 +425,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "exceeded 5 runs")]
+    #[allow(deprecated)] // the panicking front-end is what's under test
     fn run_guard_fires() {
         let n = SystemSize::new(2).unwrap();
         let sim = SharedMemSim::new(n, 1);
@@ -456,6 +471,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the panicking front-end is what's under test
     fn failing_check_panics_with_the_schedule_attached() {
         let n = SystemSize::new(2).unwrap();
         let sim = SharedMemSim::new(n, 1);

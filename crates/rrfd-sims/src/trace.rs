@@ -16,6 +16,7 @@
 use crate::async_net::{NetEvent, NetScheduler};
 use crate::semi_sync::{SemiSyncEvent, SemiSyncScheduler};
 use crate::shared_mem::{MemEvent, MemScheduler};
+use rrfd_core::lineformat::{body_lines, parse_process_id as parse_pid};
 use rrfd_core::{IdSet, ProcessId};
 use std::fmt;
 use std::str::FromStr;
@@ -31,16 +32,6 @@ pub trait SchedEvent: Copy + fmt::Debug + PartialEq {
     ///
     /// Returns a description of the malformed line.
     fn parse_event(line: &str) -> Result<Self, String>;
-}
-
-fn parse_pid(token: &str) -> Result<ProcessId, String> {
-    let idx: usize = token
-        .parse()
-        .map_err(|_| format!("bad process id {token:?}"))?;
-    if idx >= rrfd_core::MAX_PROCESSES {
-        return Err(format!("process id {idx} out of range"));
-    }
-    Ok(ProcessId::new(idx))
 }
 
 impl SchedEvent for MemEvent {
@@ -153,50 +144,22 @@ impl<E: SchedEvent> fmt::Display for ScheduleTrace<E> {
     }
 }
 
-/// Error from parsing a serialized [`ScheduleTrace`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseScheduleError {
-    /// 1-based line number of the offending line.
-    pub line: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl fmt::Display for ParseScheduleError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "schedule trace line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ParseScheduleError {}
+/// Error from parsing a serialized [`ScheduleTrace`]. An alias of the
+/// workspace-wide [`rrfd_core::LineError`]: every line-oriented trace
+/// format reports failures the same way (1-based `line`, free-form
+/// `message`).
+pub type ParseScheduleError = rrfd_core::LineError;
 
 impl<E: SchedEvent> FromStr for ScheduleTrace<E> {
     type Err = ParseScheduleError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let mut lines = s.lines().enumerate();
-        match lines.next() {
-            Some((_, "rrfd-sched v1")) => {}
-            other => {
-                return Err(ParseScheduleError {
-                    line: 1,
-                    message: format!(
-                        "expected header \"rrfd-sched v1\", got {:?}",
-                        other.map(|(_, l)| l).unwrap_or("")
-                    ),
-                })
-            }
-        }
         let mut events = Vec::new();
-        for (i, line) in lines {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            events.push(E::parse_event(line).map_err(|message| ParseScheduleError {
-                line: i + 1,
-                message,
-            })?);
+        for (line_no, line) in body_lines(s, "rrfd-sched v1")? {
+            events.push(
+                E::parse_event(line)
+                    .map_err(|message| ParseScheduleError::new(line_no, message))?,
+            );
         }
         Ok(ScheduleTrace { events })
     }
