@@ -4,7 +4,7 @@
 //!
 //! Exit status: `0` clean, `1` findings or mismatch, `2` usage error.
 
-use rrfd_analyze::{lattice, lint, races};
+use rrfd_analyze::{lattice, lint, races, stats};
 use rrfd_core::SystemSize;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,8 +28,15 @@ commands:
 
   lint [--root DIR] [--allow PATH]
       Token-scan crates/*/src for panic-family calls, wall-clock reads in
-      deterministic crates, and direct delivery indexing, reconciled
-      against the allowlist (default lint.allow under --root, default .).
+      deterministic crates, direct delivery indexing, and Clock-bypassing
+      time reads in instrumented crates, reconciled against the allowlist
+      (default lint.allow under --root, default .).
+
+  stats <capture-file> [--check PATH]
+      Render per-round statistics (messages, suspicions, decisions,
+      latency quantiles) for an `rrfd-trace v1`, `rrfd-events v1`, or
+      metrics-JSONL capture. With --check, compare the rendered output
+      byte-for-byte against the golden file at PATH and fail on drift.
 ";
 
 fn main() -> ExitCode {
@@ -42,6 +49,7 @@ fn main() -> ExitCode {
         "lattice" => run_lattice(rest),
         "races" => run_races(rest),
         "lint" => run_lint(rest),
+        "stats" => run_stats(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -212,6 +220,52 @@ fn run_races(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
         (false, false) => ExitCode::FAILURE,
+    }
+}
+
+fn run_stats(args: &[String]) -> ExitCode {
+    let mut rest = args.to_vec();
+    let check = match take_value(&mut rest, "--check") {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let [path] = rest.as_slice() else {
+        return usage_error("stats needs exactly one capture file");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = match stats::render(&text) {
+        Ok(rendered) => rendered,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{rendered}");
+    let Some(golden_path) = check else {
+        return ExitCode::SUCCESS;
+    };
+    let golden = match std::fs::read_to_string(&golden_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read {golden_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if rendered == golden {
+        eprintln!("{path}: stats match {golden_path}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "{path}: stats drifted from {golden_path} — regenerate with \
+             `rrfd-analyze stats {path} > {golden_path}` and review the diff"
+        );
+        ExitCode::FAILURE
     }
 }
 

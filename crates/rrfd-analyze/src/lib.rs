@@ -10,13 +10,17 @@
 //!   `rrfd-events v1` traces with vector clocks, reporting covering
 //!   violations, cross-round reordering and data races.
 //! * [`lint`] — a dependency-free token scanner enforcing the
-//!   workspace's no-panic / no-wall-clock / no-direct-index invariants
-//!   with an allowlist ratchet.
+//!   workspace's no-panic / no-wall-clock / no-direct-index /
+//!   no-clock-bypass invariants with an allowlist ratchet.
+//! * [`stats`] — renders per-round tables (messages, suspicions,
+//!   decisions, latency quantiles) from `rrfd-trace v1`, `rrfd-events
+//!   v1`, or metrics-JSONL capture files, golden-checkable in CI.
 //!
 //! ```text
 //! cargo run --release -p rrfd-analyze --bin rrfd-analyze -- lattice
 //! cargo run -p rrfd-analyze --bin rrfd-analyze -- races trace.txt
 //! cargo run -p rrfd-analyze --bin rrfd-analyze -- lint
+//! cargo run -p rrfd-analyze --bin rrfd-analyze -- stats trace.txt
 //! ```
 
 #![forbid(unsafe_code)]
@@ -25,3 +29,4 @@
 pub mod lattice;
 pub mod lint;
 pub mod races;
+pub mod stats;

@@ -1,6 +1,6 @@
 //! A dependency-free lint pass over the workspace's library code.
 //!
-//! Three lints, each encoding a project invariant the compiler cannot:
+//! Four lints, each encoding a project invariant the compiler cannot:
 //!
 //! * **`panic-family`** — `.unwrap()`, `.expect(` and `panic!` in
 //!   non-test library code. PR 1 introduced typed error enums
@@ -13,6 +13,11 @@
 //! * **`direct-index`** — `received[` in protocol code: indexing the
 //!   delivery array directly bypasses the suspected-process `Option`
 //!   check that the covering property hinges on.
+//! * **`obs`** — `Instant::now` / `SystemTime::now` inside the
+//!   instrumented crates (`rrfd-runtime`, `rrfd-obs`). Timing there must
+//!   flow through the pluggable `rrfd_obs::Clock` abstraction so runs
+//!   stay reproducible under a logical clock; the one sanctioned reader
+//!   (`WallClock` itself) carries an allowlist budget.
 //!
 //! The scanner is a line-oriented token matcher, not a parser: it strips
 //! block/line comments and string literals, and skips `#[cfg(test)]`
@@ -42,6 +47,9 @@ pub enum LintKind {
     WallClock,
     /// `received[` — direct indexing past the suspicion check.
     DirectIndex,
+    /// `Instant::now` / `SystemTime::now` in an instrumented crate,
+    /// bypassing the `rrfd_obs::Clock` abstraction.
+    ObsClock,
 }
 
 impl LintKind {
@@ -52,6 +60,7 @@ impl LintKind {
             LintKind::PanicFamily => "panic-family",
             LintKind::WallClock => "wall-clock",
             LintKind::DirectIndex => "direct-index",
+            LintKind::ObsClock => "obs",
         }
     }
 
@@ -60,6 +69,7 @@ impl LintKind {
             "panic-family" => Some(LintKind::PanicFamily),
             "wall-clock" => Some(LintKind::WallClock),
             "direct-index" => Some(LintKind::DirectIndex),
+            "obs" => Some(LintKind::ObsClock),
             _ => None,
         }
     }
@@ -279,10 +289,16 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// Crates whose code must stay deterministic (replayable traces).
 const DETERMINISTIC_CRATES: &[&str] = &["rrfd-core", "rrfd-models", "rrfd-sims", "rrfd-protocols"];
 
+/// Crates whose timing must flow through `rrfd_obs::Clock` rather than
+/// reading the wall clock directly — otherwise metric snapshots stop
+/// being reproducible under the logical clock.
+const INSTRUMENTED_CRATES: &[&str] = &["rrfd-runtime", "rrfd-obs"];
+
 /// Scans one file's text, appending findings. Exposed for testing the
 /// scanner on synthetic sources.
 pub fn scan_file(crate_name: &str, rel_path: &str, text: &str, out: &mut Vec<LintFinding>) {
     let wall_clock_applies = DETERMINISTIC_CRATES.contains(&crate_name);
+    let obs_clock_applies = INSTRUMENTED_CRATES.contains(&crate_name);
     let mut strip = StripState::default();
     // Once a `#[cfg(test)]` attribute is seen, skip from its first `{`
     // until the brace depth returns to zero.
@@ -318,9 +334,12 @@ pub fn scan_file(crate_name: &str, rel_path: &str, text: &str, out: &mut Vec<Lin
         if code.contains(".unwrap()") || code.contains(".expect(") || code.contains("panic!") {
             hit(LintKind::PanicFamily);
         }
-        if wall_clock_applies && (code.contains("Instant::now") || code.contains("SystemTime::now"))
-        {
+        let reads_clock = code.contains("Instant::now") || code.contains("SystemTime::now");
+        if wall_clock_applies && reads_clock {
             hit(LintKind::WallClock);
+        }
+        if obs_clock_applies && reads_clock {
+            hit(LintKind::ObsClock);
         }
         if code.contains("received[") {
             hit(LintKind::DirectIndex);
@@ -496,8 +515,41 @@ mod tests {
         assert_eq!(out[0].kind, LintKind::WallClock);
         let mut out = Vec::new();
         scan_file(
+            "rrfd-protocols",
+            "crates/rrfd-protocols/src/x.rs",
+            "SystemTime::now()\n",
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, LintKind::WallClock);
+    }
+
+    #[test]
+    fn obs_clock_only_fires_in_instrumented_crates() {
+        // Runtime and obs code must route time through `rrfd_obs::Clock`.
+        let mut out = Vec::new();
+        scan_file(
             "rrfd-runtime",
             "crates/rrfd-runtime/src/x.rs",
+            "Instant::now()\n",
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, LintKind::ObsClock);
+        let mut out = Vec::new();
+        scan_file(
+            "rrfd-obs",
+            "crates/rrfd-obs/src/x.rs",
+            "SystemTime::now()\n",
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, LintKind::ObsClock);
+        // Crates outside both lists stay unrestricted.
+        let mut out = Vec::new();
+        scan_file(
+            "rrfd-bench",
+            "crates/rrfd-bench/src/x.rs",
             "Instant::now()\n",
             &mut out,
         );

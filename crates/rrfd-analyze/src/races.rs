@@ -9,7 +9,8 @@
 //!   trace is itself the replay certificate: re-drive it through
 //!   `rrfd_models::adversary::ReplayDetector` to reproduce the run.
 //! * **`rrfd-events v1`** ([`rrfd_core::EventLog`]) — the runtime-level
-//!   record emitted by `rrfd-runtime`'s `analyze` feature. Here we rebuild
+//!   record emitted by an `EventSink` installed on `rrfd-runtime`'s
+//!   threaded engine. Here we rebuild
 //!   the happens-before partial order with vector clocks: one clock
 //!   component per actor (the coordinator plus each process thread),
 //!   program order within an actor, and the message edges

@@ -1,0 +1,52 @@
+//! Holds `rrfd-obs` to its "disabled instrumentation is free" contract:
+//! the same one-round k-set engine workload measured three ways —
+//! uninstrumented baseline, no-op `Obs` handle, and the sharded
+//! recorder with the logical clock. Baseline and no-op must sit within
+//! noise of each other; the sharded column prices enabled recording.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{agreement_inputs, quick_criterion, SEED};
+use rrfd_core::{Engine, SystemSize};
+use rrfd_models::adversary::RandomAdversary;
+use rrfd_models::predicates::KUncertainty;
+use rrfd_obs::Obs;
+use rrfd_protocols::kset::OneRoundKSet;
+
+fn run_engine(n: SystemSize, k: usize, inputs: &[u64], obs: Option<&Obs>) {
+    let model = KUncertainty::new(n, k);
+    let protos: Vec<_> = inputs.iter().map(|&v| OneRoundKSet::new(v)).collect();
+    let mut adv = RandomAdversary::new(model, SEED);
+    let mut engine = Engine::new(n);
+    if let Some(obs) = obs {
+        engine = engine.obs(obs.clone());
+    }
+    engine.run(protos, &mut adv, &model).unwrap();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    for &nv in &[8usize, 32] {
+        let n = SystemSize::new(nv).unwrap();
+        let inputs = agreement_inputs(nv);
+        let k = 2;
+        group.bench_with_input(BenchmarkId::new("baseline", nv), &n, |b, &n| {
+            b.iter(|| run_engine(n, k, &inputs, None));
+        });
+        group.bench_with_input(BenchmarkId::new("noop", nv), &n, |b, &n| {
+            let obs = Obs::noop();
+            b.iter(|| run_engine(n, k, &inputs, Some(&obs)));
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", nv), &n, |b, &n| {
+            let obs = Obs::logical();
+            b.iter(|| run_engine(n, k, &inputs, Some(&obs)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,414 @@
+//! The machine-readable bench reporter: runs a compact E-series workload
+//! sweep, timing each experiment (median / p95 wall nanoseconds) and
+//! capturing its `rrfd_*` metric totals from one instrumented run, then
+//! writes everything as `BENCH_rrfd.json` (format `rrfd-bench v1`).
+//!
+//! ```text
+//! cargo run -p rrfd-bench --bin report --release -- [--quick] [--out PATH]
+//! cargo run -p rrfd-bench --bin report -- --check-schema PATH
+//! ```
+//!
+//! `--quick` shrinks sample counts for CI smoke runs; `--check-schema`
+//! validates an existing report file against the `rrfd-bench v1` schema
+//! (via the dependency-free `rrfd_obs::json` reader) without running any
+//! workload. The report also includes an `overhead` section comparing the
+//! same engine workload uninstrumented, with the no-op recorder, and with
+//! the sharded recorder — the "disabled instrumentation is free" claim as
+//! a number.
+
+use rrfd_core::{Engine, SystemSize};
+use rrfd_models::adversary::{RandomAdversary, SilencingCrash, StaggeredCrash};
+use rrfd_models::predicates::{Crash, DetectorS, KUncertainty};
+use rrfd_obs::{json, Obs};
+use rrfd_protocols::adopt_commit::run_adopt_commit;
+use rrfd_protocols::early_stopping::EarlyStoppingConsensus;
+use rrfd_protocols::kset::{FloodMin, OneRoundKSet, SnapshotKSet};
+use rrfd_protocols::s_consensus::SRotatingConsensus;
+use rrfd_protocols::semi_sync_consensus::TwoStepConsensus;
+use rrfd_runtime::{MetricsSink, ThreadedEngine};
+use rrfd_sims::instrument::Instrumented;
+use rrfd_sims::semi_sync::{RandomSemiSync, SemiSyncSim};
+use rrfd_sims::shared_mem::{RandomScheduler, SharedMemSim};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+const FORMAT: &str = "rrfd-bench v1";
+const SEED: u64 = 0x5EED_CAFE_F00D_0002;
+
+fn n(v: usize) -> SystemSize {
+    SystemSize::new(v).expect("valid size")
+}
+
+fn inputs(count: usize) -> Vec<u64> {
+    (0..count as u64).map(|i| 1000 + i).collect()
+}
+
+/// One E-series workload: a name plus a closure that runs it once,
+/// recording into `obs` wherever the substrate has an instrumentation
+/// seam (engine builder, scheduler wrapper, runtime sink).
+struct Workload {
+    name: &'static str,
+    run: Box<dyn Fn(&Obs)>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "e3_one_round_kset",
+            run: Box::new(|obs| {
+                let size = n(8);
+                let (k, ins) = (2usize, inputs(8));
+                let model = KUncertainty::new(size, k);
+                let protos: Vec<_> = ins.iter().map(|&v| OneRoundKSet::new(v)).collect();
+                let mut adv = RandomAdversary::new(model, SEED);
+                Engine::new(size)
+                    .obs(obs.clone())
+                    .run(protos, &mut adv, &model)
+                    .expect("e3 run");
+            }),
+        },
+        Workload {
+            name: "e4_snapshot_kset",
+            run: Box::new(|obs| {
+                let size = n(8);
+                let (k, ins) = (3usize, inputs(8));
+                let procs: Vec<_> = ins.iter().map(|&v| SnapshotKSet::new(size, k, v)).collect();
+                let mut sched = Instrumented::new(
+                    RandomScheduler::new(SEED, k - 1).crash_prob(0.04),
+                    obs.clone(),
+                );
+                SharedMemSim::new(size, 1)
+                    .with_snapshots()
+                    .run(procs, &mut sched)
+                    .expect("e4 run");
+            }),
+        },
+        Workload {
+            name: "e7_adopt_commit",
+            run: Box::new(|obs| {
+                let size = n(8);
+                let ins: Vec<u64> = (0..8).collect();
+                let mut sched = Instrumented::new(RandomScheduler::new(SEED, 0), obs.clone());
+                run_adopt_commit(size, &ins, &mut sched).expect("e7 run");
+            }),
+        },
+        Workload {
+            name: "e9_lower_bound",
+            run: Box::new(|obs| {
+                let size = n(10);
+                let (f, k) = (4usize, 2usize);
+                let model = Crash::new(size, f);
+                let protos: Vec<_> = (0..10u64)
+                    .map(|v| FloodMin::new(v, (f / k) as u32 + 1))
+                    .collect();
+                let mut adv = SilencingCrash::new(size, f, k);
+                Engine::new(size)
+                    .obs(obs.clone())
+                    .run(protos, &mut adv, &model)
+                    .expect("e9 run");
+            }),
+        },
+        Workload {
+            name: "e10_semi_sync",
+            run: Box::new(|obs| {
+                let size = n(8);
+                let ins = inputs(8);
+                let procs: Vec<_> = size
+                    .processes()
+                    .map(|p| TwoStepConsensus::new(size, p, ins[p.index()]))
+                    .collect();
+                let mut sched =
+                    Instrumented::new(RandomSemiSync::new(SEED, 7).crash_prob(0.05), obs.clone());
+                SemiSyncSim::new(size)
+                    .run(procs, &mut sched)
+                    .expect("e10 run");
+            }),
+        },
+        Workload {
+            name: "e13_runtime",
+            run: Box::new(|obs| {
+                let size = n(4);
+                let (k, ins) = (2usize, inputs(4));
+                let model = KUncertainty::new(size, k);
+                let protos: Vec<_> = ins.iter().map(|&v| OneRoundKSet::new(v)).collect();
+                let mut adv = RandomAdversary::new(model, SEED);
+                ThreadedEngine::new(size)
+                    .obs(obs.clone())
+                    .sink(Arc::new(MetricsSink::new(obs.clone())))
+                    .run(protos, &mut adv, &model)
+                    .expect("e13 run");
+            }),
+        },
+        Workload {
+            name: "e16_s_consensus",
+            run: Box::new(|obs| {
+                let size = n(6);
+                let ins = inputs(6);
+                let model = DetectorS::new(size);
+                let protos: Vec<_> = ins
+                    .iter()
+                    .map(|&v| SRotatingConsensus::new(size, v))
+                    .collect();
+                let mut adv = RandomAdversary::new(model, SEED);
+                Engine::new(size)
+                    .obs(obs.clone())
+                    .run(protos, &mut adv, &model)
+                    .expect("e16 run");
+            }),
+        },
+        Workload {
+            name: "e17_early_stopping",
+            run: Box::new(|obs| {
+                let size = n(10);
+                let f = 5usize;
+                let model = Crash::new(size, f);
+                let protos: Vec<_> = (0..10u64)
+                    .map(|v| EarlyStoppingConsensus::new(v, f))
+                    .collect();
+                let mut adv = StaggeredCrash::new(size, 3);
+                Engine::new(size)
+                    .obs(obs.clone())
+                    .run(protos, &mut adv, &model)
+                    .expect("e17 run");
+            }),
+        },
+    ]
+}
+
+/// Times `run` `samples` times, returning sorted elapsed nanoseconds.
+fn time_samples(samples: usize, run: impl Fn()) -> Vec<u64> {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    times
+}
+
+/// The `q`-quantile of an ascending-sorted sample by nearest-rank.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct ExperimentRow {
+    name: &'static str,
+    samples: usize,
+    median_ns: u64,
+    p95_ns: u64,
+    metrics: BTreeMap<String, u64>,
+}
+
+fn run_report(quick: bool) -> String {
+    let samples = if quick { 5 } else { 20 };
+    let mut rows = Vec::new();
+    for workload in workloads() {
+        eprintln!("running {} ({samples} samples)...", workload.name);
+        // One instrumented run captures the metric totals; the timed
+        // samples run with the no-op handle so the numbers reflect the
+        // workload, not the recorder.
+        let obs = Obs::logical();
+        (workload.run)(&obs);
+        let metrics: BTreeMap<String, u64> = {
+            let snap = obs.snapshot();
+            let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+            for entry in snap.entries() {
+                if let rrfd_obs::MetricValue::Counter(v) = entry.value {
+                    *totals.entry(entry.metric.clone()).or_default() += v;
+                }
+            }
+            totals
+        };
+        let noop = Obs::noop();
+        let times = time_samples(samples, || (workload.run)(&noop));
+        rows.push(ExperimentRow {
+            name: workload.name,
+            samples,
+            median_ns: quantile(&times, 0.5),
+            p95_ns: quantile(&times, 0.95),
+            metrics,
+        });
+    }
+
+    // Overhead triple: the same engine workload uninstrumented, with the
+    // no-op handle, and with the sharded recorder.
+    eprintln!("measuring recorder overhead ({samples} samples per mode)...");
+    let engine_workload = |obs: Option<Obs>| {
+        let size = n(8);
+        let model = KUncertainty::new(size, 2);
+        let protos: Vec<_> = inputs(8).iter().map(|&v| OneRoundKSet::new(v)).collect();
+        let mut adv = RandomAdversary::new(model, SEED);
+        let mut engine = Engine::new(size);
+        if let Some(obs) = obs {
+            engine = engine.obs(obs);
+        }
+        engine.run(protos, &mut adv, &model).expect("overhead run");
+    };
+    let baseline = quantile(&time_samples(samples, || engine_workload(None)), 0.5);
+    let noop = quantile(
+        &time_samples(samples, || engine_workload(Some(Obs::noop()))),
+        0.5,
+    );
+    let sharded = quantile(
+        &time_samples(samples, || engine_workload(Some(Obs::logical()))),
+        0.5,
+    );
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"format\": \"{FORMAT}\",\n"));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let metrics: Vec<String> = row
+            .metrics
+            .iter()
+            .map(|(name, total)| format!("\"{}\": {total}", json::escape(name)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"median_ns\": {}, \"p95_ns\": {}, \
+             \"metrics\": {{{}}}}}{}\n",
+            json::escape(row.name),
+            row.samples,
+            row.median_ns,
+            row.p95_ns,
+            metrics.join(", "),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"overhead\": {{\"baseline_ns\": {baseline}, \"noop_ns\": {noop}, \
+         \"sharded_ns\": {sharded}}}\n"
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Validates `text` against the `rrfd-bench v1` schema.
+fn check_schema(text: &str) -> Result<(), String> {
+    let root = json::parse(text).map_err(|e| e.to_string())?;
+    let format = root
+        .get("format")
+        .and_then(json::Json::as_str)
+        .ok_or("missing string field `format`")?;
+    if format != FORMAT {
+        return Err(format!("format is {format:?}, expected {FORMAT:?}"));
+    }
+    root.get("quick")
+        .and_then(json::Json::as_bool)
+        .ok_or("missing bool field `quick`")?;
+    let experiments = root
+        .get("experiments")
+        .and_then(json::Json::as_array)
+        .ok_or("missing array field `experiments`")?;
+    if experiments.is_empty() {
+        return Err("`experiments` is empty".to_owned());
+    }
+    for (i, entry) in experiments.iter().enumerate() {
+        let name = entry
+            .get("name")
+            .and_then(json::Json::as_str)
+            .ok_or_else(|| format!("experiment {i}: missing string `name`"))?;
+        for field in ["samples", "median_ns", "p95_ns"] {
+            entry
+                .get(field)
+                .and_then(json::Json::as_u64)
+                .ok_or_else(|| format!("experiment {name:?}: missing integer `{field}`"))?;
+        }
+        let metrics = entry
+            .get("metrics")
+            .ok_or_else(|| format!("experiment {name:?}: missing object `metrics`"))?;
+        let json::Json::Obj(fields) = metrics else {
+            return Err(format!("experiment {name:?}: `metrics` is not an object"));
+        };
+        for (metric, total) in fields {
+            if total.as_u64().is_none() {
+                return Err(format!(
+                    "experiment {name:?}: metric {metric:?} total is not an integer"
+                ));
+            }
+        }
+    }
+    let overhead = root.get("overhead").ok_or("missing object `overhead`")?;
+    for field in ["baseline_ns", "noop_ns", "sharded_ns"] {
+        overhead
+            .get(field)
+            .and_then(json::Json::as_u64)
+            .ok_or_else(|| format!("overhead: missing integer `{field}`"))?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let take_flag = |args: &mut Vec<String>, flag: &str| match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    let take_value = |args: &mut Vec<String>, flag: &str| match args.iter().position(|a| a == flag)
+    {
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            Some(args.remove(i))
+        }
+        Some(_) => Some(String::new()),
+        None => None,
+    };
+
+    let quick = take_flag(&mut args, "--quick");
+    let check = take_value(&mut args, "--check-schema");
+    let out = take_value(&mut args, "--out").unwrap_or_else(|| "BENCH_rrfd.json".to_owned());
+    if let Some(extra) = args.first() {
+        eprintln!("unexpected argument {extra:?}");
+        eprintln!("usage: report [--quick] [--out PATH] | report --check-schema PATH");
+        return ExitCode::from(2);
+    }
+
+    if let Some(path) = check {
+        if path.is_empty() {
+            eprintln!("--check-schema needs a value");
+            return ExitCode::from(2);
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check_schema(&text) {
+            Ok(()) => {
+                eprintln!("{path}: valid {FORMAT} report");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: schema check failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = run_report(quick);
+    if check_schema(&report).is_err() {
+        eprintln!("internal error: generated report fails its own schema");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &report) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -20,6 +20,7 @@ use crate::idset::IdSet;
 use crate::pattern::{FaultPattern, RoundFaults};
 use crate::predicate::{validate_round, PatternViolation, RrfdPredicate};
 use crate::trace::{RunTrace, TraceBuilder, TraceOutcome};
+use rrfd_obs::{names, Labels, Obs};
 use std::fmt;
 
 /// A round-by-round fault detector, viewed as an adversary: at each round it
@@ -232,6 +233,7 @@ impl From<PatternViolation> for EngineError {
 pub struct Engine {
     n: SystemSize,
     max_rounds: u32,
+    obs: Obs,
 }
 
 /// Default bound on rounds before the engine reports
@@ -246,6 +248,7 @@ impl Engine {
         Engine {
             n,
             max_rounds: DEFAULT_MAX_ROUNDS,
+            obs: Obs::noop(),
         }
     }
 
@@ -253,6 +256,17 @@ impl Engine {
     #[must_use]
     pub fn max_rounds(mut self, max_rounds: u32) -> Self {
         self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Attaches an observability handle. Every run then records
+    /// round-structured metrics — rounds, message counts, `|D(i,r)|` and
+    /// `|S(i,r)|` size histograms, decisions, round latency — under the
+    /// `rrfd_engine_*` names. The default is [`Obs::noop`], which records
+    /// nothing and costs one branch per call site.
+    #[must_use]
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -320,13 +334,24 @@ impl Engine {
 
         for round_no in 1..=self.max_rounds {
             let round = Round::new(round_no);
+            let span = self.obs.round_enter(Labels::round(round_no));
 
             // Emit phase.
             let messages: Vec<P::Msg> = protocols.iter_mut().map(|p| p.emit(round)).collect();
+            self.obs
+                .add(names::ENGINE_ROUNDS, Labels::round(round_no), 1);
+            self.obs.add(
+                names::ENGINE_MESSAGES_EMITTED,
+                Labels::round(round_no),
+                n as u64,
+            );
 
             // The detector chooses and the engine validates D(·, r).
             let faults = detector.next_round(round, &pattern);
             if let Err(violation) = validate_round(model, &pattern, &faults) {
+                self.obs
+                    .add(names::ENGINE_VIOLATIONS, Labels::round(round_no), 1);
+                self.obs.round_exit(names::ENGINE_ROUND_LATENCY, span);
                 // Keep the offending round in the trace: it is the evidence.
                 trace.record_violating_round(faults);
                 return (
@@ -349,14 +374,25 @@ impl Engine {
                         }
                     })
                     .collect();
-                heard.push(
-                    received
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, m)| m.is_some())
-                        .map(|(j, _)| ProcessId::new(j))
-                        .collect::<IdSet>(),
-                );
+                let heard_set = received
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.is_some())
+                    .map(|(j, _)| ProcessId::new(j))
+                    .collect::<IdSet>();
+                if self.obs.is_enabled() {
+                    let labels = Labels::process_round(i, round_no);
+                    self.obs.add(
+                        names::ENGINE_MESSAGES_RECEIVED,
+                        labels,
+                        heard_set.len() as u64,
+                    );
+                    self.obs
+                        .observe(names::ENGINE_HEARD_SIZE, labels, heard_set.len() as u64);
+                    self.obs
+                        .observe(names::ENGINE_SUSPICION_SIZE, labels, suspected.len() as u64);
+                }
+                heard.push(heard_set);
                 let verdict = protocol.deliver(Delivery {
                     round,
                     me,
@@ -369,12 +405,18 @@ impl Engine {
                     if decisions[i].is_none() {
                         decisions[i] = Some((value, round));
                         trace.record_decision(me, round);
+                        self.obs.add(
+                            names::ENGINE_DECISIONS,
+                            Labels::process_round(i, round_no),
+                            1,
+                        );
                     }
                 }
             }
 
             trace.record_round(faults.clone(), heard);
             pattern.push(faults);
+            self.obs.round_exit(names::ENGINE_ROUND_LATENCY, span);
 
             if decisions.iter().all(Option::is_some) {
                 return (
@@ -646,6 +688,77 @@ mod tests {
         assert!(matches!(result, Err(EngineError::WrongProcessCount { .. })));
         assert_eq!(trace.outcome(), &TraceOutcome::Aborted);
         assert!(trace.rounds().is_empty());
+    }
+
+    #[test]
+    fn instrumented_run_records_round_metrics() {
+        use rrfd_obs::{names, Labels, Obs};
+
+        let size = n(3);
+        let mut r1 = RoundFaults::none(size);
+        r1.set(ProcessId::new(0), IdSet::singleton(ProcessId::new(2)));
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![r1],
+        };
+        let protos: Vec<_> = (0..3).map(|_| DecideAfter::new(2)).collect();
+        let obs = Obs::logical();
+        let report = Engine::new(size)
+            .obs(obs.clone())
+            .run(protos, &mut det, &AnyPattern::new(size))
+            .unwrap();
+        assert!(report.all_decided());
+
+        let snap = obs.snapshot();
+        // Two rounds ran, three messages emitted per round.
+        assert_eq!(snap.counter_total(names::ENGINE_ROUNDS), 2);
+        assert_eq!(snap.counter_total(names::ENGINE_MESSAGES_EMITTED), 6);
+        // p0 heard 2 of 3 in round 1 (it suspected p2); everyone else 3.
+        assert_eq!(
+            snap.get(names::ENGINE_MESSAGES_RECEIVED, Labels::process_round(0, 1)),
+            Some(&rrfd_obs::MetricValue::Counter(2))
+        );
+        assert_eq!(
+            snap.counter_total(names::ENGINE_MESSAGES_RECEIVED),
+            2 + 3 + 3 + 9
+        );
+        // All three decided at round 2.
+        assert_eq!(snap.counter_total(names::ENGINE_DECISIONS), 3);
+        for p in 0..3usize {
+            assert_eq!(
+                snap.get(names::ENGINE_DECISIONS, Labels::process_round(p, 2)),
+                Some(&rrfd_obs::MetricValue::Counter(1))
+            );
+        }
+        // Round latency was observed once per round.
+        let rounds_with_latency = snap
+            .entries()
+            .iter()
+            .filter(|e| e.metric == names::ENGINE_ROUND_LATENCY)
+            .count();
+        assert_eq!(rounds_with_latency, 2);
+        assert_eq!(snap.counter_total(names::ENGINE_VIOLATIONS), 0);
+    }
+
+    #[test]
+    fn violations_are_counted() {
+        use rrfd_obs::{names, Obs};
+
+        let size = n(3);
+        let mut bad = RoundFaults::none(size);
+        bad.set(ProcessId::new(1), IdSet::universe(size));
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![bad],
+        };
+        let protos: Vec<_> = (0..3).map(|_| DecideAfter::new(5)).collect();
+        let obs = Obs::logical();
+        let (result, _trace) =
+            Engine::new(size)
+                .obs(obs.clone())
+                .run_traced(protos, &mut det, &AnyPattern::new(size));
+        assert!(matches!(result, Err(EngineError::Violation(_))));
+        assert_eq!(obs.snapshot().counter_total(names::ENGINE_VIOLATIONS), 1);
     }
 
     #[test]

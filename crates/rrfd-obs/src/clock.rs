@@ -1,0 +1,89 @@
+//! Pluggable time sources for round spans.
+//!
+//! Instrumented code never reads `std::time` directly (the `obs` lint in
+//! `rrfd-analyze` enforces this): it asks its [`Clock`]. The [`WallClock`]
+//! measures real latency; the [`LogicalClock`] makes instrumented runs
+//! deterministic — each read ticks a counter, so identical executions see
+//! identical "times" and produce byte-identical snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current reading, in nanoseconds since an arbitrary origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// Real time: nanoseconds since the clock was created.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock anchored at the moment of creation.
+    #[must_use]
+    pub fn new() -> Self {
+        WallClock {
+            // The one sanctioned wall-clock read in the workspace's
+            // instrumented crates; everything else goes through `Clock`.
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Deterministic time: every read advances the clock by one "nanosecond".
+/// A span's duration is then the number of clock reads between enter and
+/// exit — a property of the execution's structure, not its speed.
+#[derive(Debug, Default)]
+pub struct LogicalClock {
+    ticks: AtomicU64,
+}
+
+impl LogicalClock {
+    /// A logical clock starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        LogicalClock::default()
+    }
+}
+
+impl Clock for LogicalClock {
+    fn now_ns(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_clock_ticks_per_read() {
+        let clock = LogicalClock::new();
+        assert_eq!(clock.now_ns(), 1);
+        assert_eq!(clock.now_ns(), 2);
+        assert_eq!(clock.now_ns(), 3);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = WallClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+}

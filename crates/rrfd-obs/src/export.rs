@@ -1,0 +1,303 @@
+//! Snapshot exporters: JSONL (one metric row per line, machine-first) and
+//! Prometheus text exposition format (`rrfd_`-prefixed, exemplar-free,
+//! written to a file path — this crate never opens a socket).
+//!
+//! Both formats are pure functions of the canonical sorted [`Snapshot`],
+//! so two identical runs export byte-identical files; the determinism
+//! proptest in the workspace root depends on this.
+
+use crate::json::{self, Json};
+use crate::recorder::{Entry, Labels, MetricValue, Snapshot};
+use crate::HistogramSnapshot;
+use std::io;
+use std::path::Path;
+
+impl Snapshot {
+    /// Serializes the snapshot as JSON Lines: one self-describing object
+    /// per metric row, in canonical order.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for entry in self.entries() {
+            out.push_str(&entry_to_json(entry));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the snapshot in Prometheus text exposition format.
+    /// Histograms render cumulative `_bucket{le=...}` series plus `_sum`
+    /// and `_count`, matching native Prometheus histogram semantics.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_metric: Option<&str> = None;
+        for entry in self.entries() {
+            if last_metric != Some(entry.metric.as_str()) {
+                let kind = match &entry.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {kind}\n", entry.metric));
+                last_metric = Some(entry.metric.as_str());
+            }
+            let labels = prom_labels(entry.labels, None);
+            match &entry.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{}{labels} {v}\n", entry.metric));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{}{labels} {v}\n", entry.metric));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for &(bound, count) in &h.buckets {
+                        cumulative += count;
+                        let le = prom_labels(entry.labels, Some(&bound.to_string()));
+                        out.push_str(&format!("{}_bucket{le} {cumulative}\n", entry.metric));
+                    }
+                    let inf = prom_labels(entry.labels, Some("+Inf"));
+                    out.push_str(&format!("{}_bucket{inf} {}\n", entry.metric, h.count));
+                    out.push_str(&format!("{}_sum{labels} {}\n", entry.metric, h.sum));
+                    out.push_str(&format!("{}_count{labels} {}\n", entry.metric, h.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes [`Snapshot::to_jsonl`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Writes [`Snapshot::to_prometheus`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_prometheus(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_prometheus())
+    }
+
+    /// Parses a snapshot back from its JSONL form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first offending line.
+    pub fn from_jsonl(text: &str) -> Result<Snapshot, String> {
+        let mut entries = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let entry = entry_from_json(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+            entries.push(entry);
+        }
+        Ok(Snapshot::from_entries(entries))
+    }
+}
+
+fn prom_labels(labels: Labels, le: Option<&str>) -> String {
+    let mut parts = Vec::new();
+    if let Some(p) = labels.process {
+        parts.push(format!("process=\"{p}\""));
+    }
+    if labels.round > 0 {
+        parts.push(format!("round=\"{}\"", labels.round));
+    }
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn entry_to_json(entry: &Entry) -> String {
+    let mut fields = vec![format!("\"metric\":\"{}\"", json::escape(&entry.metric))];
+    match &entry.value {
+        MetricValue::Counter(_) => fields.push("\"type\":\"counter\"".to_owned()),
+        MetricValue::Gauge(_) => fields.push("\"type\":\"gauge\"".to_owned()),
+        MetricValue::Histogram(_) => fields.push("\"type\":\"histogram\"".to_owned()),
+    }
+    if let Some(p) = entry.labels.process {
+        fields.push(format!("\"process\":{p}"));
+    }
+    fields.push(format!("\"round\":{}", entry.labels.round));
+    match &entry.value {
+        MetricValue::Counter(v) => fields.push(format!("\"value\":{v}")),
+        MetricValue::Gauge(v) => fields.push(format!("\"value\":{v}")),
+        MetricValue::Histogram(h) => {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(bound, count)| format!("[{bound},{count}]"))
+                .collect();
+            fields.push(format!("\"buckets\":[{}]", buckets.join(",")));
+            fields.push(format!("\"count\":{}", h.count));
+            fields.push(format!("\"sum\":{}", h.sum));
+        }
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+fn entry_from_json(line: &str) -> Result<Entry, String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let metric = v
+        .get("metric")
+        .and_then(Json::as_str)
+        .ok_or("missing `metric`")?
+        .to_owned();
+    let labels = Labels {
+        process: match v.get("process") {
+            Some(p) => Some(
+                u32::try_from(p.as_u64().ok_or("bad `process`")?)
+                    .map_err(|_| "oversized `process`")?,
+            ),
+            None => None,
+        },
+        round: u32::try_from(
+            v.get("round")
+                .and_then(Json::as_u64)
+                .ok_or("missing `round`")?,
+        )
+        .map_err(|_| "oversized `round`")?,
+    };
+    let value = match v.get("type").and_then(Json::as_str) {
+        Some("counter") => {
+            MetricValue::Counter(v.get("value").and_then(Json::as_u64).ok_or("bad counter")?)
+        }
+        Some("gauge") => {
+            MetricValue::Gauge(v.get("value").and_then(Json::as_i64).ok_or("bad gauge")?)
+        }
+        Some("histogram") => {
+            let raw = v
+                .get("buckets")
+                .and_then(Json::as_array)
+                .ok_or("missing `buckets`")?;
+            let mut buckets = Vec::with_capacity(raw.len());
+            for pair in raw {
+                let pair = pair.as_array().ok_or("bad bucket pair")?;
+                match pair {
+                    [bound, count] => buckets.push((
+                        bound.as_u64().ok_or("bad bucket bound")?,
+                        count.as_u64().ok_or("bad bucket count")?,
+                    )),
+                    _ => return Err("bucket pair is not [bound, count]".to_owned()),
+                }
+            }
+            MetricValue::Histogram(HistogramSnapshot {
+                buckets,
+                count: v.get("count").and_then(Json::as_u64).ok_or("bad `count`")?,
+                sum: v.get("sum").and_then(Json::as_u64).ok_or("bad `sum`")?,
+            })
+        }
+        _ => return Err("missing or unknown `type`".to_owned()),
+    };
+    Ok(Entry {
+        metric,
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{names, Obs};
+
+    fn sample() -> Snapshot {
+        let obs = Obs::logical();
+        obs.add(names::ENGINE_ROUNDS, Labels::round(1), 1);
+        obs.add(names::ENGINE_ROUNDS, Labels::round(2), 1);
+        obs.add(
+            names::ENGINE_MESSAGES_RECEIVED,
+            Labels::process_round(0, 1),
+            3,
+        );
+        obs.gauge(names::SIM_SCHED_DEPTH, Labels::GLOBAL, 7);
+        obs.observe(names::ENGINE_SUSPICION_SIZE, Labels::process_round(1, 1), 2);
+        obs.observe(
+            names::ENGINE_SUSPICION_SIZE,
+            Labels::process_round(1, 1),
+            40,
+        );
+        obs.snapshot()
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let snap = sample();
+        let text = snap.to_jsonl();
+        let back = Snapshot::from_jsonl(&text).unwrap();
+        assert_eq!(back, snap);
+        // And re-serializing is byte-stable.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn jsonl_lines_are_self_describing() {
+        let text = sample().to_jsonl();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("\"metric\":"), "{first}");
+        assert!(first.contains("\"type\":"), "{first}");
+        assert!(first.contains("\"round\":"), "{first}");
+    }
+
+    #[test]
+    fn prometheus_renders_all_series_shapes() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE rrfd_engine_rounds_total counter"));
+        assert!(text.contains("rrfd_engine_rounds_total{round=\"1\"} 1"));
+        assert!(text.contains("# TYPE rrfd_sim_sched_depth gauge"));
+        assert!(text.contains("rrfd_sim_sched_depth 7"));
+        assert!(text
+            .contains("rrfd_engine_suspicion_size_bucket{process=\"1\",round=\"1\",le=\"4\"} 1"));
+        assert!(text
+            .contains("rrfd_engine_suspicion_size_bucket{process=\"1\",round=\"1\",le=\"64\"} 2"));
+        assert!(text.contains(
+            "rrfd_engine_suspicion_size_bucket{process=\"1\",round=\"1\",le=\"+Inf\"} 2"
+        ));
+        assert!(text.contains("rrfd_engine_suspicion_size_sum{process=\"1\",round=\"1\"} 42"));
+        assert!(text.contains("rrfd_engine_suspicion_size_count{process=\"1\",round=\"1\"} 2"));
+        // Every metric name carries the rrfd_ prefix.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.starts_with("rrfd_"), "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_jsonl_is_rejected_with_line_numbers() {
+        let err = Snapshot::from_jsonl("{\"metric\":\"m\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = Snapshot::from_jsonl(
+            "{\"metric\":\"m\",\"type\":\"counter\",\"round\":1,\"value\":1}\nnot json\n",
+        )
+        .unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn files_are_written() {
+        let dir = std::env::temp_dir().join("rrfd_obs_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = sample();
+        let jsonl = dir.join("snap.jsonl");
+        let prom = dir.join("snap.prom");
+        snap.write_jsonl(&jsonl).unwrap();
+        snap.write_prometheus(&prom).unwrap();
+        assert_eq!(std::fs::read_to_string(&jsonl).unwrap(), snap.to_jsonl());
+        assert_eq!(
+            std::fs::read_to_string(&prom).unwrap(),
+            snap.to_prometheus()
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Round-structured observability for RRFD substrates.
+//!
+//! The paper's covering property `S(i,r) ∪ D(i,r) = S` makes the *round*
+//! the natural unit of observation: "what did the detector suspect in
+//! round `r`, and what did that cost" is a first-class question. This
+//! crate answers it with a metrics layer whose every sample is keyed by
+//! `(metric, process, round)` — counters, gauges, and fixed-bucket
+//! histograms — plus a round-span API for timing rounds under a pluggable
+//! [`Clock`], so instrumented runs stay deterministic in tests (logical
+//! clock) while measuring real latency in production (wall clock).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** [`Obs::noop`] carries no allocation and
+//!    every recording call is a single branch on an `Option`. The
+//!    `obs_overhead` bench in `rrfd-bench` holds this to "within noise".
+//! 2. **Deterministic by construction.** [`Snapshot`]s are sorted by
+//!    `(metric, process, round)`; with the [`LogicalClock`], two identical
+//!    runs produce byte-identical JSONL exports (a proptest in the
+//!    workspace root asserts exactly this).
+//! 3. **Dependency-free.** Only `std`: the crate sits below `rrfd-core`
+//!    in the dependency graph so every substrate can use it.
+//!
+//! The flow: instrumented code records through an [`Obs`] handle (a
+//! [`Recorder`] plus a [`Clock`]); a [`Snapshot`] is taken at the end of a
+//! run; the snapshot exports to JSONL ([`Snapshot::to_jsonl`]) or
+//! Prometheus text format ([`Snapshot::to_prometheus`], `rrfd_`-prefixed,
+//! exemplar-free, file-targeted — no network); `rrfd-analyze -- stats`
+//! renders per-round tables from the same data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod export;
+mod hist;
+pub mod json;
+pub mod names;
+mod recorder;
+
+pub use clock::{Clock, LogicalClock, WallClock};
+pub use hist::{Histogram, HistogramSnapshot, BUCKET_BOUNDS};
+pub use recorder::{Entry, Labels, MetricValue, NoopRecorder, Recorder, ShardedRecorder, Snapshot};
+
+use std::sync::Arc;
+
+/// A span over one round of one process (or the whole system): created by
+/// [`Obs::round_enter`], consumed by [`Obs::round_exit`], which records the
+/// elapsed clock time into a latency histogram keyed by the span's labels.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundSpan {
+    start_ns: u64,
+    labels: Labels,
+}
+
+impl RoundSpan {
+    /// The labels the span was opened with.
+    #[must_use]
+    pub fn labels(&self) -> Labels {
+        self.labels
+    }
+}
+
+#[derive(Debug)]
+struct ObsInner {
+    recorder: Arc<dyn Recorder>,
+    clock: Arc<dyn Clock>,
+}
+
+/// The instrumentation handle every substrate records through: a
+/// [`Recorder`] paired with a [`Clock`]. Cloning is cheap (an `Arc`), and
+/// the no-op handle is a `None` — recording through it is one branch.
+///
+/// # Examples
+///
+/// ```
+/// use rrfd_obs::{names, Labels, Obs};
+///
+/// let obs = Obs::logical();
+/// obs.add(names::ENGINE_ROUNDS, Labels::round(1), 1);
+/// let span = obs.round_enter(Labels::round(1));
+/// obs.round_exit(names::ENGINE_ROUND_LATENCY, span);
+/// let snap = obs.snapshot();
+/// assert_eq!(snap.counter_total(names::ENGINE_ROUNDS), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// The disabled handle: records nothing, costs one branch per call.
+    #[must_use]
+    pub fn noop() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A sharded recorder driven by a [`LogicalClock`]: fully
+    /// deterministic, for tests and simulation substrates.
+    #[must_use]
+    pub fn logical() -> Self {
+        Obs::new(
+            Arc::new(ShardedRecorder::new()),
+            Arc::new(LogicalClock::new()),
+        )
+    }
+
+    /// A sharded recorder driven by the [`WallClock`]: for the threaded
+    /// runtime and benches, where latency is the point.
+    #[must_use]
+    pub fn wall() -> Self {
+        Obs::new(Arc::new(ShardedRecorder::new()), Arc::new(WallClock::new()))
+    }
+
+    /// An enabled handle over an explicit recorder and clock.
+    #[must_use]
+    pub fn new(recorder: Arc<dyn Recorder>, clock: Arc<dyn Clock>) -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner { recorder, clock })),
+        }
+    }
+
+    /// `true` unless this is the no-op handle.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `delta` to the counter `metric` at `labels`.
+    pub fn add(&self, metric: &'static str, labels: Labels, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.add(metric, labels, delta);
+        }
+    }
+
+    /// Sets the gauge `metric` at `labels` to `value`.
+    pub fn gauge(&self, metric: &'static str, labels: Labels, value: i64) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.gauge(metric, labels, value);
+        }
+    }
+
+    /// Records `value` into the histogram `metric` at `labels`.
+    pub fn observe(&self, metric: &'static str, labels: Labels, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.observe(metric, labels, value);
+        }
+    }
+
+    /// Reads the clock (0 when disabled). Prefer spans over raw reads.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_ns())
+    }
+
+    /// Opens a round span at `labels`; time it with [`Obs::round_exit`].
+    #[must_use]
+    pub fn round_enter(&self, labels: Labels) -> RoundSpan {
+        RoundSpan {
+            start_ns: self.now_ns(),
+            labels,
+        }
+    }
+
+    /// Closes `span`, recording the elapsed nanoseconds into the
+    /// histogram `metric` at the span's labels.
+    pub fn round_exit(&self, metric: &'static str, span: RoundSpan) {
+        if let Some(inner) = &self.inner {
+            let elapsed = inner.clock.now_ns().saturating_sub(span.start_ns);
+            inner.recorder.observe(metric, span.labels, elapsed);
+        }
+    }
+
+    /// A deterministic snapshot of everything recorded so far (empty for
+    /// the no-op handle).
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(Snapshot::default, |i| i.recorder.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_records_nothing_and_reads_zero() {
+        let obs = Obs::noop();
+        assert!(!obs.is_enabled());
+        obs.add(names::ENGINE_ROUNDS, Labels::GLOBAL, 5);
+        obs.observe(names::ENGINE_ROUND_LATENCY, Labels::round(1), 10);
+        obs.gauge(names::SIM_SCHED_DEPTH, Labels::GLOBAL, 3);
+        assert_eq!(obs.now_ns(), 0);
+        assert!(obs.snapshot().entries().is_empty());
+    }
+
+    #[test]
+    fn logical_spans_are_deterministic() {
+        let run = || {
+            let obs = Obs::logical();
+            for r in 1..=3u32 {
+                let span = obs.round_enter(Labels::round(r));
+                obs.add(names::ENGINE_ROUNDS, Labels::round(r), 1);
+                obs.round_exit(names::ENGINE_ROUND_LATENCY, span);
+            }
+            obs.snapshot().to_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let obs = Obs::logical();
+        let other = obs.clone();
+        other.add(names::ENGINE_ROUNDS, Labels::GLOBAL, 2);
+        obs.add(names::ENGINE_ROUNDS, Labels::GLOBAL, 3);
+        assert_eq!(obs.snapshot().counter_total(names::ENGINE_ROUNDS), 5);
+    }
+}

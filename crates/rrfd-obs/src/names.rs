@@ -1,0 +1,82 @@
+//! The workspace's metric taxonomy: every instrumented crate records
+//! under a name from this module, so exports stay greppable and the
+//! `rrfd-analyze -- stats` renderer knows what to look for.
+//!
+//! Naming follows Prometheus conventions: `rrfd_<substrate>_<what>` with
+//! a `_total` suffix for counters and a `_ns` suffix for nanosecond
+//! histograms. Labels are always the [`crate::Labels`] pair
+//! `(process, round)` — never free-form strings — which bounds
+//! cardinality at `n × rounds`.
+
+// -- rrfd-core::Engine (the in-process round engine) ------------------------
+
+/// Counter: rounds executed, per round (so also a round-liveness marker).
+pub const ENGINE_ROUNDS: &str = "rrfd_engine_rounds_total";
+/// Counter: messages emitted, per round (`n` per round, all processes).
+pub const ENGINE_MESSAGES_EMITTED: &str = "rrfd_engine_messages_emitted_total";
+/// Counter: messages received, per `(process, round)` — `|S(i,r)|`.
+pub const ENGINE_MESSAGES_RECEIVED: &str = "rrfd_engine_messages_received_total";
+/// Histogram: suspicion-set size `|D(i,r)|`, per `(process, round)`.
+pub const ENGINE_SUSPICION_SIZE: &str = "rrfd_engine_suspicion_size";
+/// Histogram: heard-of set size `|S(i,r)|`, per `(process, round)`.
+pub const ENGINE_HEARD_SIZE: &str = "rrfd_engine_heard_size";
+/// Counter: first decisions, per `(process, round)`.
+pub const ENGINE_DECISIONS: &str = "rrfd_engine_decisions_total";
+/// Histogram: round latency in clock ns, per round.
+pub const ENGINE_ROUND_LATENCY: &str = "rrfd_engine_round_latency_ns";
+/// Counter: adversary violations caught by validation.
+pub const ENGINE_VIOLATIONS: &str = "rrfd_engine_violations_total";
+
+// -- rrfd-runtime::ThreadedEngine (coordinator + process threads) -----------
+
+/// Counter: messages emitted by process threads, per `(process, round)`.
+pub const RUNTIME_MESSAGES_EMITTED: &str = "rrfd_runtime_messages_emitted_total";
+/// Counter: emissions gathered by the coordinator, per `(process, round)`.
+pub const RUNTIME_GATHERS: &str = "rrfd_runtime_gathers_total";
+/// Counter: detector consultations, per round.
+pub const RUNTIME_DETECTS: &str = "rrfd_runtime_detects_total";
+/// Counter: deliveries sent by the coordinator, per `(process, round)`.
+pub const RUNTIME_DELIVERIES: &str = "rrfd_runtime_deliveries_total";
+/// Counter: deliveries received by process threads, per `(process, round)`.
+pub const RUNTIME_MESSAGES_RECEIVED: &str = "rrfd_runtime_messages_received_total";
+/// Counter: decisions, per `(process, round)`.
+pub const RUNTIME_DECISIONS: &str = "rrfd_runtime_decisions_total";
+/// Counter: coordinator shared-state accesses.
+pub const RUNTIME_STATE_ACCESSES: &str = "rrfd_runtime_state_accesses_total";
+/// Histogram: coordinator wall latency per round, in clock ns, per round.
+pub const RUNTIME_ROUND_LATENCY: &str = "rrfd_runtime_round_latency_ns";
+/// Counter: gather timeouts (a thread missed its emission window).
+pub const RUNTIME_GATHER_TIMEOUTS: &str = "rrfd_runtime_gather_timeouts_total";
+/// Counter: runs ending in `ThreadedError::Violation`.
+pub const RUNTIME_ERR_VIOLATION: &str = "rrfd_runtime_errors_violation_total";
+/// Counter: runs ending in `ThreadedError::WrongProcessCount`.
+pub const RUNTIME_ERR_WRONG_COUNT: &str = "rrfd_runtime_errors_wrong_process_count_total";
+/// Counter: runs ending in `ThreadedError::RoundLimitExceeded`.
+pub const RUNTIME_ERR_ROUND_LIMIT: &str = "rrfd_runtime_errors_round_limit_total";
+/// Counter: runs ending in `ThreadedError::ProcessDied`, per process.
+pub const RUNTIME_ERR_PROCESS_DIED: &str = "rrfd_runtime_errors_process_died_total";
+/// Counter: runs ending in `ThreadedError::ProcessPanicked`, per process.
+pub const RUNTIME_ERR_PROCESS_PANICKED: &str = "rrfd_runtime_errors_process_panicked_total";
+/// Counter: runs ending in `ThreadedError::ChannelClosed`.
+pub const RUNTIME_ERR_CHANNEL_CLOSED: &str = "rrfd_runtime_errors_channel_closed_total";
+
+// -- rrfd-sims (adversarial schedulers + exhaustive exploration) ------------
+
+/// Counter: scheduler decisions taken, per stepped/crashed process.
+pub const SIM_SCHED_EVENTS: &str = "rrfd_sim_sched_events_total";
+/// Counter: step events, per process.
+pub const SIM_STEPS: &str = "rrfd_sim_steps_total";
+/// Counter: crash events, per process.
+pub const SIM_CRASHES: &str = "rrfd_sim_crashes_total";
+/// Counter: message deliveries chosen by a network scheduler, per receiver.
+pub const SIM_DELIVERIES: &str = "rrfd_sim_deliveries_total";
+/// Histogram: branching factor (runnable/option count) at each decision.
+pub const SIM_BRANCHING: &str = "rrfd_sim_branching";
+/// Gauge: schedule depth — decisions taken by this scheduler so far.
+pub const SIM_SCHED_DEPTH: &str = "rrfd_sim_sched_depth";
+/// Counter: complete schedules enumerated by `explore`.
+pub const EXPLORE_SCHEDULES: &str = "rrfd_explore_schedules_total";
+/// Counter: decision points (explored states) visited by `explore`.
+pub const EXPLORE_DECISION_POINTS: &str = "rrfd_explore_decision_points_total";
+/// Gauge: deepest decision sequence any explored schedule reached.
+pub const EXPLORE_MAX_DEPTH: &str = "rrfd_explore_max_depth";

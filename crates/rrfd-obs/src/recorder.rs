@@ -1,0 +1,392 @@
+//! Recorders: where metric samples go.
+//!
+//! The [`Recorder`] trait is the single sink interface; instrumented code
+//! holds it behind an [`crate::Obs`] handle. Two implementations ship:
+//! [`NoopRecorder`] (the disabled default) and [`ShardedRecorder`], a
+//! "lock-free-enough" store — samples hash to one of a fixed set of
+//! shards, each a small mutex-guarded map, so concurrent writers from the
+//! threaded runtime rarely contend. Determinism comes at snapshot time,
+//! not record time: [`Recorder::snapshot`] sorts every entry by
+//! `(metric, process, round)`, so physical recording order never leaks
+//! into an export.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// The label schema every sample carries: which process (if any) and
+/// which round (0 = not round-scoped). Bounded cardinality by
+/// construction — no free-form strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Labels {
+    /// The process the sample describes, or `None` for system-wide.
+    pub process: Option<u32>,
+    /// The round the sample describes, or 0 for run-wide.
+    pub round: u32,
+}
+
+impl Labels {
+    /// Run-wide, system-wide: no process, no round.
+    pub const GLOBAL: Labels = Labels {
+        process: None,
+        round: 0,
+    };
+
+    /// System-wide but round-scoped.
+    #[must_use]
+    pub fn round(round: u32) -> Self {
+        Labels {
+            process: None,
+            round,
+        }
+    }
+
+    /// Process-scoped, run-wide.
+    #[must_use]
+    pub fn process(process: usize) -> Self {
+        Labels {
+            process: Some(process as u32),
+            round: 0,
+        }
+    }
+
+    /// Process- and round-scoped — the full key.
+    #[must_use]
+    pub fn process_round(process: usize, round: u32) -> Self {
+        Labels {
+            process: Some(process as u32),
+            round,
+        }
+    }
+}
+
+/// A frozen sample value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A last-write-wins level.
+    Gauge(i64),
+    /// A frozen distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One snapshot row: a metric at a label set with its frozen value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// The metric name (`rrfd_`-prefixed; see [`crate::names`]).
+    pub metric: String,
+    /// The sample's labels.
+    pub labels: Labels,
+    /// The frozen value.
+    pub value: MetricValue,
+}
+
+/// A deterministic, sorted snapshot of a recorder's contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    entries: Vec<Entry>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from rows, sorting them into canonical
+    /// `(metric, process, round)` order.
+    #[must_use]
+    pub fn from_entries(mut entries: Vec<Entry>) -> Self {
+        entries.sort_by(|a, b| (a.metric.as_str(), a.labels).cmp(&(b.metric.as_str(), b.labels)));
+        Snapshot { entries }
+    }
+
+    /// The rows, in canonical order.
+    #[must_use]
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// The value recorded for `metric` at exactly `labels`.
+    #[must_use]
+    pub fn get(&self, metric: &str, labels: Labels) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.metric == metric && e.labels == labels)
+            .map(|e| &e.value)
+    }
+
+    /// The sum of every counter row of `metric`, across all labels.
+    #[must_use]
+    pub fn counter_total(&self, metric: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.metric == metric)
+            .map(|e| match &e.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The distinct rounds (> 0) appearing in any row's labels, ascending.
+    #[must_use]
+    pub fn rounds(&self) -> Vec<u32> {
+        let mut rounds: Vec<u32> = self
+            .entries
+            .iter()
+            .map(|e| e.labels.round)
+            .filter(|&r| r > 0)
+            .collect();
+        rounds.sort_unstable();
+        rounds.dedup();
+        rounds
+    }
+}
+
+/// A sink for metric samples. Implementations must tolerate concurrent
+/// callers and must produce canonically sorted snapshots.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Adds `delta` to the counter `metric` at `labels`.
+    fn add(&self, metric: &'static str, labels: Labels, delta: u64);
+    /// Sets the gauge `metric` at `labels`.
+    fn gauge(&self, metric: &'static str, labels: Labels, value: i64);
+    /// Records `value` into the histogram `metric` at `labels`.
+    fn observe(&self, metric: &'static str, labels: Labels, value: u64);
+    /// Freezes the current contents into a sorted [`Snapshot`].
+    fn snapshot(&self) -> Snapshot;
+}
+
+/// The disabled recorder: drops everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn add(&self, _metric: &'static str, _labels: Labels, _delta: u64) {}
+    fn gauge(&self, _metric: &'static str, _labels: Labels, _value: i64) {}
+    fn observe(&self, _metric: &'static str, _labels: Labels, _value: u64) {}
+    fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}
+
+/// One live slot in a shard. A metric's kind is fixed by its first sample;
+/// mismatched operations on an existing slot are ignored rather than
+/// panicking (the lint pass keeps `panic!` out of library code, and a
+/// metrics layer must never take a run down).
+#[derive(Debug)]
+enum Slot {
+    Counter(u64),
+    Gauge(i64),
+    Hist(Histogram),
+}
+
+const SHARDS: usize = 16;
+
+/// The default enabled recorder: samples hash to one of `SHARDS`
+/// mutex-guarded maps keyed by `(metric, labels)`. Contention is limited
+/// to samples that collide on a shard; the maps are only merged (and
+/// sorted) at snapshot time.
+#[derive(Debug)]
+pub struct ShardedRecorder {
+    shards: Vec<Mutex<HashMap<(&'static str, Labels), Slot>>>,
+}
+
+impl Default for ShardedRecorder {
+    fn default() -> Self {
+        ShardedRecorder {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+}
+
+impl ShardedRecorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        ShardedRecorder::default()
+    }
+
+    fn shard(
+        &self,
+        metric: &'static str,
+        labels: Labels,
+    ) -> &Mutex<HashMap<(&'static str, Labels), Slot>> {
+        let mut hasher = DefaultHasher::new();
+        metric.hash(&mut hasher);
+        labels.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARDS]
+    }
+
+    fn with_slot(
+        &self,
+        metric: &'static str,
+        labels: Labels,
+        make: impl FnOnce() -> Slot,
+        update: impl FnOnce(&mut Slot),
+    ) {
+        let mut map = self
+            .shard(metric, labels)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let slot = map.entry((metric, labels)).or_insert_with(make);
+        update(slot);
+    }
+}
+
+impl Recorder for ShardedRecorder {
+    fn add(&self, metric: &'static str, labels: Labels, delta: u64) {
+        self.with_slot(
+            metric,
+            labels,
+            || Slot::Counter(0),
+            |slot| {
+                if let Slot::Counter(v) = slot {
+                    *v = v.saturating_add(delta);
+                }
+            },
+        );
+    }
+
+    fn gauge(&self, metric: &'static str, labels: Labels, value: i64) {
+        self.with_slot(
+            metric,
+            labels,
+            || Slot::Gauge(0),
+            |slot| {
+                if let Slot::Gauge(v) = slot {
+                    *v = value;
+                }
+            },
+        );
+    }
+
+    fn observe(&self, metric: &'static str, labels: Labels, value: u64) {
+        self.with_slot(
+            metric,
+            labels,
+            || Slot::Hist(Histogram::new()),
+            |slot| {
+                if let Slot::Hist(h) = slot {
+                    h.observe(value);
+                }
+            },
+        );
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (&(metric, labels), slot) in map.iter() {
+                let value = match slot {
+                    Slot::Counter(v) => MetricValue::Counter(*v),
+                    Slot::Gauge(v) => MetricValue::Gauge(*v),
+                    Slot::Hist(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                entries.push(Entry {
+                    metric: metric.to_owned(),
+                    labels,
+                    value,
+                });
+            }
+        }
+        Snapshot::from_entries(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let rec = ShardedRecorder::new();
+        rec.add("m", Labels::round(1), 2);
+        rec.add("m", Labels::round(1), 3);
+        rec.add("m", Labels::round(2), 1);
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.get("m", Labels::round(1)),
+            Some(&MetricValue::Counter(5))
+        );
+        assert_eq!(snap.counter_total("m"), 6);
+        assert_eq!(snap.rounds(), vec![1, 2]);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let rec = ShardedRecorder::new();
+        rec.gauge("g", Labels::GLOBAL, 10);
+        rec.gauge("g", Labels::GLOBAL, -4);
+        assert_eq!(
+            rec.snapshot().get("g", Labels::GLOBAL),
+            Some(&MetricValue::Gauge(-4))
+        );
+    }
+
+    #[test]
+    fn histograms_record_distributions() {
+        let rec = ShardedRecorder::new();
+        rec.observe("h", Labels::process_round(0, 1), 3);
+        rec.observe("h", Labels::process_round(0, 1), 100);
+        let snap = rec.snapshot();
+        let Some(MetricValue::Histogram(h)) = snap.get("h", Labels::process_round(0, 1)) else {
+            panic!("expected a histogram");
+        };
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 103);
+    }
+
+    #[test]
+    fn kind_mismatch_is_ignored_not_fatal() {
+        let rec = ShardedRecorder::new();
+        rec.add("m", Labels::GLOBAL, 1);
+        rec.observe("m", Labels::GLOBAL, 99); // ignored: m is a counter
+        rec.gauge("m", Labels::GLOBAL, 7); // ignored too
+        assert_eq!(
+            rec.snapshot().get("m", Labels::GLOBAL),
+            Some(&MetricValue::Counter(1))
+        );
+    }
+
+    #[test]
+    fn snapshots_are_canonically_sorted() {
+        let rec = ShardedRecorder::new();
+        rec.add("z", Labels::GLOBAL, 1);
+        rec.add("a", Labels::round(2), 1);
+        rec.add("a", Labels::round(1), 1);
+        rec.add("a", Labels::process_round(1, 1), 1);
+        rec.add("a", Labels::process_round(0, 1), 1);
+        let snap = rec.snapshot();
+        let keys: Vec<(String, Labels)> = snap
+            .entries()
+            .iter()
+            .map(|e| (e.metric.clone(), e.labels))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_by(|a, b| (a.0.as_str(), a.1).cmp(&(b.0.as_str(), b.1)));
+        assert_eq!(keys, sorted);
+        assert_eq!(snap.entries()[0].metric, "a");
+        assert_eq!(snap.entries().last().map(|e| e.metric.as_str()), Some("z"));
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        use std::sync::Arc;
+        let rec = Arc::new(ShardedRecorder::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    rec.add("c", Labels::process(t), 1);
+                    rec.observe("h", Labels::process(t), i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter_total("c"), 4000);
+    }
+}

@@ -478,7 +478,7 @@ mod tests {
                 10_000,
             )
             .unwrap_or_else(|cex| panic!("{cex}"));
-            assert_eq!(total, 3432, "inputs {inputs:?}");
+            assert_eq!(total.schedules, 3432, "inputs {inputs:?}");
         }
     }
 

@@ -321,7 +321,13 @@ mod tests {
         .unwrap_or_else(|cex| panic!("{cex}"));
         // The step counts vary by schedule (the until-loop), so just
         // require genuine coverage.
-        assert!(total > 100, "only {total} schedules explored");
+        assert!(
+            total.schedules > 100,
+            "only {} schedules explored",
+            total.schedules
+        );
+        assert!(total.decision_points >= total.schedules as u64);
+        assert!(total.max_depth > 0);
     }
 
     #[test]

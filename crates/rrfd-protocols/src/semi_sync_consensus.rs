@@ -384,7 +384,11 @@ mod tests {
                 2_000_000,
             )
             .unwrap_or_else(|cex| panic!("{cex}"));
-            assert!(total > 10, "n={nv}: only {total} schedules");
+            assert!(
+                total.schedules > 10,
+                "n={nv}: only {} schedules",
+                total.schedules
+            );
         }
     }
 

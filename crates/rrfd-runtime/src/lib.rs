@@ -13,11 +13,9 @@
 #![warn(missing_docs)]
 
 mod clock;
-#[cfg(feature = "analyze")]
 mod sink;
 mod threaded;
 
 pub use clock::RoundClock;
-#[cfg(feature = "analyze")]
-pub use sink::EventSink;
+pub use sink::{EventSink, MetricsSink, RtSink, TeeSink};
 pub use threaded::{RunError, ThreadedEngine, ThreadedError, ThreadedReport};

@@ -23,10 +23,10 @@ use std::thread;
 use std::time::Duration;
 
 use crate::clock::RoundClock;
-#[cfg(feature = "analyze")]
-use crate::sink::EventSink;
-#[cfg(feature = "analyze")]
+use crate::sink::{EventSink, RtSink};
 use rrfd_core::{Actor, RtEventKind};
+use rrfd_obs::{names, Labels, Obs};
+use std::sync::Arc;
 
 /// Channel pair used between the coordinator and process threads.
 type EmissionChannel<M, O> = (Sender<Emission<M, O>>, Receiver<Emission<M, O>>);
@@ -221,8 +221,8 @@ pub struct ThreadedEngine {
     max_rounds: u32,
     gather_timeout: Duration,
     clock: RoundClock,
-    #[cfg(feature = "analyze")]
-    sink: Option<EventSink>,
+    sink: Option<Arc<dyn RtSink>>,
+    obs: Obs,
 }
 
 impl ThreadedEngine {
@@ -234,8 +234,8 @@ impl ThreadedEngine {
             max_rounds: 100_000,
             gather_timeout: DEFAULT_GATHER_TIMEOUT,
             clock: RoundClock::new(),
-            #[cfg(feature = "analyze")]
             sink: None,
+            obs: Obs::noop(),
         }
     }
 
@@ -259,20 +259,65 @@ impl ThreadedEngine {
     /// Installs an [`EventSink`]: the coordinator and every process thread
     /// record their channel operations and shared-state accesses into it as
     /// the run executes, for the happens-before analysis in
-    /// `rrfd-analyze races`.
-    #[cfg(feature = "analyze")]
+    /// `rrfd-analyze races`. Convenience for [`ThreadedEngine::sink`]; to
+    /// capture events *and* metrics at once, install a
+    /// [`crate::TeeSink`] instead.
     #[must_use]
-    pub fn event_sink(mut self, sink: EventSink) -> Self {
+    pub fn event_sink(self, sink: EventSink) -> Self {
+        self.sink(Arc::new(sink))
+    }
+
+    /// Installs any [`RtSink`]: every runtime event of the run flows into
+    /// it. Use [`crate::TeeSink`] to fan out to several consumers (e.g. an
+    /// [`EventSink`] for race analysis plus a [`crate::MetricsSink`]).
+    #[must_use]
+    pub fn sink(mut self, sink: Arc<dyn RtSink>) -> Self {
         self.sink = Some(sink);
         self
     }
 
+    /// Attaches an observability handle. The coordinator then records
+    /// per-round wall latency, gather timeouts, and terminal error
+    /// counters under the `rrfd_runtime_*` names. This is independent of
+    /// [`ThreadedEngine::sink`]: the sink sees discrete events, the
+    /// handle aggregates timings the events cannot carry.
+    #[must_use]
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Records one coordinator-side event, if a sink is installed.
-    #[cfg(feature = "analyze")]
     fn record(&self, kind: RtEventKind) {
         if let Some(sink) = &self.sink {
             sink.record(Actor::Coordinator, kind);
         }
+    }
+
+    /// Counts a terminal error under its `rrfd_runtime_errors_*` name.
+    fn record_error(&self, error: &ThreadedError) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let (metric, labels) = match error {
+            ThreadedError::Violation(_) => (names::RUNTIME_ERR_VIOLATION, Labels::GLOBAL),
+            ThreadedError::WrongProcessCount { .. } => {
+                (names::RUNTIME_ERR_WRONG_COUNT, Labels::GLOBAL)
+            }
+            ThreadedError::RoundLimitExceeded { .. } => {
+                (names::RUNTIME_ERR_ROUND_LIMIT, Labels::GLOBAL)
+            }
+            ThreadedError::ProcessDied { process } => (
+                names::RUNTIME_ERR_PROCESS_DIED,
+                Labels::process(process.index()),
+            ),
+            ThreadedError::ProcessPanicked { process, .. } => (
+                names::RUNTIME_ERR_PROCESS_PANICKED,
+                Labels::process(process.index()),
+            ),
+            ThreadedError::ChannelClosed => (names::RUNTIME_ERR_CHANNEL_CLOSED, Labels::GLOBAL),
+        };
+        self.obs.add(metric, labels, 1);
     }
 
     /// A clock observers can use to watch the run's progress from other
@@ -322,13 +367,12 @@ impl ThreadedEngine {
         let n = self.n.get();
         let mut trace = TraceBuilder::new(self.n);
         if protocols.len() != n {
-            return (
-                Err(ThreadedError::WrongProcessCount {
-                    supplied: protocols.len(),
-                    expected: n,
-                }),
-                trace.finish(TraceOutcome::Aborted),
-            );
+            let error = ThreadedError::WrongProcessCount {
+                supplied: protocols.len(),
+                expected: n,
+            };
+            self.record_error(&error);
+            return (Err(error), trace.finish(TraceOutcome::Aborted));
         }
 
         let (emit_tx, emit_rx): EmissionChannel<P::Msg, P::Output> = channel::unbounded();
@@ -340,14 +384,12 @@ impl ThreadedEngine {
             let emit_tx = emit_tx.clone();
             let (reply_tx, reply_rx): ReplyChannel<P::Msg> = channel::unbounded();
             reply_txs.push(reply_tx);
-            #[cfg(feature = "analyze")]
             let sink = self.sink.clone();
             handles.push(thread::spawn(move || {
                 let mut decided: Option<P::Output> = None;
                 let mut round = Round::FIRST;
                 loop {
                     let msg = protocol.emit(round);
-                    #[cfg(feature = "analyze")]
                     if let Some(sink) = &sink {
                         sink.record(Actor::Process(me), RtEventKind::Emit { round });
                     }
@@ -369,7 +411,6 @@ impl ThreadedEngine {
                             suspected,
                         }) => {
                             debug_assert_eq!(r, round);
-                            #[cfg(feature = "analyze")]
                             if let Some(sink) = &sink {
                                 sink.record(Actor::Process(me), RtEventKind::Receive { round: r });
                             }
@@ -379,7 +420,6 @@ impl ThreadedEngine {
                                 received: &received,
                                 suspected,
                             }) {
-                                #[cfg(feature = "analyze")]
                                 if let Some(sink) = &sink {
                                     sink.record(
                                         Actor::Process(me),
@@ -419,6 +459,9 @@ impl ThreadedEngine {
             }
         }
         let result = attribute_panics(result, &mut panics);
+        if let Err(error) = &result {
+            self.record_error(error);
+        }
         self.clock.finish();
         (result, trace.finish(outcome))
     }
@@ -447,6 +490,7 @@ impl ThreadedEngine {
 
         for round_no in 1..=self.max_rounds {
             let round = Round::new(round_no);
+            let span = self.obs.round_enter(Labels::round(round_no));
 
             // Gather every process's emission for this round.
             let mut messages: Vec<Option<P::Msg>> = (0..n).map(|_| None).collect();
@@ -458,6 +502,8 @@ impl ThreadedEngine {
                 let emission = match emit_rx.recv_timeout(self.gather_timeout) {
                     Ok(emission) => emission,
                     Err(_) => {
+                        self.obs
+                            .add(names::RUNTIME_GATHER_TIMEOUTS, Labels::round(round_no), 1);
                         // A process whose emission is still missing this
                         // round is the dead one; if all slots are somehow
                         // filled, report the closed channel itself rather
@@ -474,7 +520,6 @@ impl ThreadedEngine {
                     }
                 };
                 debug_assert_eq!(emission.round, round, "lock-step protocol violated");
-                #[cfg(feature = "analyze")]
                 self.record(RtEventKind::Gather {
                     from: emission.from,
                     round: emission.round,
@@ -485,7 +530,6 @@ impl ThreadedEngine {
                         let decided_at = Round::new(round_no - 1);
                         decisions[emission.from.index()] = Some((v, decided_at));
                         trace.record_decision(emission.from, decided_at);
-                        #[cfg(feature = "analyze")]
                         self.record(RtEventKind::Access {
                             loc: "decisions".to_owned(),
                             write: true,
@@ -507,7 +551,6 @@ impl ThreadedEngine {
                 );
             }
 
-            #[cfg(feature = "analyze")]
             self.record(RtEventKind::Detect { round });
             let faults = detector.next_round(round, &pattern);
             if let Err(violation) = validate_round(model, &pattern, &faults) {
@@ -539,7 +582,6 @@ impl ThreadedEngine {
                         .map(|(j, _)| ProcessId::new(j))
                         .collect::<IdSet>(),
                 );
-                #[cfg(feature = "analyze")]
                 self.record(RtEventKind::Deliver { to: me, round });
                 if reply_tx
                     .send(CoordReply::Delivery {
@@ -557,13 +599,13 @@ impl ThreadedEngine {
             }
 
             trace.record_round(faults.clone(), heard);
-            #[cfg(feature = "analyze")]
             self.record(RtEventKind::Access {
                 loc: "pattern".to_owned(),
                 write: true,
             });
             pattern.push(faults);
             self.clock.advance(round_no);
+            self.obs.round_exit(names::RUNTIME_ROUND_LATENCY, span);
         }
 
         // Decisions piggyback on the *next* round's emission, so decisions
@@ -576,10 +618,14 @@ impl ThreadedEngine {
             // blocking on the reply; the timeout only fires if a thread
             // died, in which case the round-limit error below stands.
             let Ok(emission) = emit_rx.recv_timeout(self.gather_timeout) else {
+                self.obs.add(
+                    names::RUNTIME_GATHER_TIMEOUTS,
+                    Labels::round(self.max_rounds),
+                    1,
+                );
                 break;
             };
             gathered += 1;
-            #[cfg(feature = "analyze")]
             self.record(RtEventKind::Gather {
                 from: emission.from,
                 round: emission.round,
@@ -589,7 +635,6 @@ impl ThreadedEngine {
                     let decided_at = Round::new(self.max_rounds);
                     decisions[emission.from.index()] = Some((v, decided_at));
                     trace.record_decision(emission.from, decided_at);
-                    #[cfg(feature = "analyze")]
                     self.record(RtEventKind::Access {
                         loc: "decisions".to_owned(),
                         write: true,
@@ -951,7 +996,6 @@ mod tests {
         ));
     }
 
-    #[cfg(feature = "analyze")]
     #[test]
     fn event_sink_captures_a_parseable_log() {
         use crate::sink::EventSink;
@@ -986,6 +1030,84 @@ mod tests {
         // And the textual form round-trips.
         let back: EventLog = log.to_string().parse().unwrap();
         assert_eq!(back, log);
+    }
+
+    #[test]
+    fn tee_sink_captures_events_and_metrics_simultaneously() {
+        use crate::sink::{MetricsSink, TeeSink};
+        use rrfd_obs::Obs;
+
+        let size = n(3);
+        let events = EventSink::new(size);
+        let obs = Obs::logical();
+        let tee = TeeSink::new()
+            .with(Arc::new(events.clone()))
+            .with(Arc::new(MetricsSink::new(obs.clone())));
+        let protos: Vec<_> = (0..3)
+            .map(|i| SumAfter {
+                rounds: 2,
+                acc: 0,
+                me: i,
+            })
+            .collect();
+        ThreadedEngine::new(size)
+            .sink(Arc::new(tee))
+            .obs(obs.clone())
+            .run(protos, &mut NoFailures::new(size), &AnyPattern::new(size))
+            .unwrap();
+
+        // The event log captured the run...
+        let log = events.snapshot();
+        assert!(!log.is_empty());
+        // ...and the same events surfaced as metrics, in the same counts.
+        let snap = obs.snapshot();
+        let emits = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, RtEventKind::Emit { .. }))
+            .count() as u64;
+        assert_eq!(
+            snap.counter_total(rrfd_obs::names::RUNTIME_MESSAGES_EMITTED),
+            emits
+        );
+        assert_eq!(snap.counter_total(rrfd_obs::names::RUNTIME_DECISIONS), 3);
+        // The coordinator recorded wall latency for each completed round.
+        let latency_rounds = snap
+            .entries()
+            .iter()
+            .filter(|e| e.metric == rrfd_obs::names::RUNTIME_ROUND_LATENCY)
+            .count();
+        assert!(latency_rounds >= 2, "{latency_rounds}");
+        assert_eq!(
+            snap.counter_total(rrfd_obs::names::RUNTIME_GATHER_TIMEOUTS),
+            0
+        );
+    }
+
+    #[test]
+    fn terminal_errors_are_counted() {
+        use rrfd_obs::Obs;
+
+        let size = n(2);
+        let protos: Vec<_> = (0..2)
+            .map(|i| SumAfter {
+                rounds: 1000,
+                acc: 0,
+                me: i,
+            })
+            .collect();
+        let obs = Obs::logical();
+        let err = ThreadedEngine::new(size)
+            .max_rounds(4)
+            .obs(obs.clone())
+            .run(protos, &mut NoFailures::new(size), &AnyPattern::new(size))
+            .unwrap_err();
+        assert!(matches!(err, ThreadedError::RoundLimitExceeded { .. }));
+        assert_eq!(
+            obs.snapshot()
+                .counter_total(rrfd_obs::names::RUNTIME_ERR_ROUND_LIMIT),
+            1
+        );
     }
 
     #[test]

@@ -39,6 +39,43 @@ impl MemScheduler for ReplayScheduler<'_> {
     }
 }
 
+/// Search-effort totals from an exhaustive exploration. Previously the
+/// success path reported only a schedule count and discarded the per-run
+/// decision bookkeeping the walker had already paid for; surfacing it
+/// makes "how hard was this proof-by-enumeration" a measured quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExploreStats {
+    /// Complete schedules enumerated.
+    pub schedules: usize,
+    /// Decision points visited, summed over every schedule (shared
+    /// prefixes are re-visited and re-counted, mirroring the work done).
+    pub decision_points: u64,
+    /// The deepest decision sequence any schedule reached.
+    pub max_depth: usize,
+}
+
+impl ExploreStats {
+    /// Records the totals under the `rrfd_explore_*` metric names.
+    pub fn record(&self, obs: &rrfd_obs::Obs) {
+        use rrfd_obs::{names, Labels};
+        obs.add(
+            names::EXPLORE_SCHEDULES,
+            Labels::GLOBAL,
+            self.schedules as u64,
+        );
+        obs.add(
+            names::EXPLORE_DECISION_POINTS,
+            Labels::GLOBAL,
+            self.decision_points,
+        );
+        obs.gauge(
+            names::EXPLORE_MAX_DEPTH,
+            Labels::GLOBAL,
+            i64::try_from(self.max_depth).unwrap_or(i64::MAX),
+        );
+    }
+}
+
 /// A failing schedule found during exploration: the walker's raw decision
 /// indices, the concrete event sequence they produced (replayable through
 /// [`crate::trace::ScheduleReplay`]), and the checker's complaint.
@@ -70,9 +107,9 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Enumerates every schedule of `sim` over fresh processes from `make`,
-/// invoking `check` on each completed run. Returns the number of schedules
-/// explored, or the first failing schedule as a replayable
-/// [`Counterexample`].
+/// invoking `check` on each completed run. Returns the search-effort
+/// totals ([`ExploreStats`]) of the completed walk, or the first failing
+/// schedule as a replayable [`Counterexample`].
 ///
 /// The walk is exhaustive: every sequence of "which runnable process steps
 /// next" choices is visited exactly once. Use only on small instances —
@@ -92,7 +129,7 @@ pub fn explore_schedules_checked<V, P, F, G>(
     make: G,
     mut check: F,
     max_runs: usize,
-) -> Result<usize, Box<Counterexample<MemEvent>>>
+) -> Result<ExploreStats, Box<Counterexample<MemEvent>>>
 where
     V: Clone,
     P: MemProcess<V>,
@@ -100,6 +137,7 @@ where
     F: FnMut(&MemRunReport<P, V>) -> Result<(), String>,
 {
     let mut prefix: Vec<usize> = Vec::new();
+    let mut stats = ExploreStats::default();
     let mut runs = 0usize;
     loop {
         let mut scheduler = Recording::new(ReplayScheduler {
@@ -117,6 +155,9 @@ where
         );
         let (inner, schedule) = scheduler.into_parts();
         let branching = inner.branching;
+        stats.schedules = runs;
+        stats.decision_points += branching.len() as u64;
+        stats.max_depth = stats.max_depth.max(branching.len());
         let full: Vec<usize> = branching
             .iter()
             .enumerate()
@@ -135,7 +176,7 @@ where
         // incremented; truncate everything after it.
         let mut full = full;
         let Some(bump) = (0..full.len()).rev().find(|&i| full[i] + 1 < branching[i]) else {
-            return Ok(runs);
+            return Ok(stats);
         };
         full[bump] += 1;
         full.truncate(bump + 1);
@@ -176,7 +217,7 @@ where
         |report| catch_unwind(AssertUnwindSafe(|| check(report))).map_err(payload_message),
         max_runs,
     ) {
-        Ok(runs) => runs,
+        Ok(stats) => stats.schedules,
         Err(cex) => panic!("{cex}"),
     }
 }
@@ -186,7 +227,7 @@ where
 /// live process and, while `crash_budget` allows, crashing each live
 /// process.
 pub mod semi_sync {
-    use super::{catch_unwind, payload_message, AssertUnwindSafe, Counterexample};
+    use super::{catch_unwind, payload_message, AssertUnwindSafe, Counterexample, ExploreStats};
     use crate::semi_sync::{
         SemiSyncEvent, SemiSyncProcess, SemiSyncReport, SemiSyncScheduler, SemiSyncSim,
     };
@@ -228,8 +269,9 @@ pub mod semi_sync {
 
     /// Enumerates every semi-synchronous schedule (with up to
     /// `max_crashes` crashes at adversarially chosen instants), checking
-    /// each completed run. Returns the number of schedules explored, or
-    /// the first failing schedule as a replayable [`Counterexample`].
+    /// each completed run. Returns the search-effort totals
+    /// ([`ExploreStats`]) of the completed walk, or the first failing
+    /// schedule as a replayable [`Counterexample`].
     ///
     /// # Errors
     ///
@@ -245,13 +287,14 @@ pub mod semi_sync {
         make: G,
         mut check: F,
         max_runs: usize,
-    ) -> Result<usize, Box<Counterexample<SemiSyncEvent>>>
+    ) -> Result<ExploreStats, Box<Counterexample<SemiSyncEvent>>>
     where
         P: SemiSyncProcess,
         G: Fn() -> Vec<P>,
         F: FnMut(&SemiSyncReport<P>) -> Result<(), String>,
     {
         let mut prefix: Vec<usize> = Vec::new();
+        let mut stats = ExploreStats::default();
         let mut runs = 0usize;
         loop {
             let mut scheduler = Recording::new(Replay {
@@ -270,6 +313,9 @@ pub mod semi_sync {
             );
             let (inner, schedule) = scheduler.into_parts();
             let branching = inner.branching;
+            stats.schedules = runs;
+            stats.decision_points += branching.len() as u64;
+            stats.max_depth = stats.max_depth.max(branching.len());
             let full: Vec<usize> = branching
                 .iter()
                 .enumerate()
@@ -286,7 +332,7 @@ pub mod semi_sync {
 
             let mut full = full;
             let Some(bump) = (0..full.len()).rev().find(|&i| full[i] + 1 < branching[i]) else {
-                return Ok(runs);
+                return Ok(stats);
             };
             full[bump] += 1;
             full.truncate(bump + 1);
@@ -327,7 +373,7 @@ pub mod semi_sync {
             |report| catch_unwind(AssertUnwindSafe(|| check(report))).map_err(payload_message),
             max_runs,
         ) {
-            Ok(runs) => runs,
+            Ok(stats) => stats.schedules,
             Err(cex) => panic!("{cex}"),
         }
     }

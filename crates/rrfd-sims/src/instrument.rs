@@ -1,0 +1,193 @@
+//! Metric-recording wrappers for the simulator schedulers.
+//!
+//! [`Instrumented`] wraps any scheduler — shared-memory, semi-synchronous,
+//! or asynchronous-network — and records every decision it makes into an
+//! [`Obs`] handle under the `rrfd_sim_*` names: one `rrfd_sim_sched_events`
+//! counter per decision (split into steps, crashes, and deliveries by
+//! event kind), a branching-factor histogram over the option set offered
+//! at each decision point, and a running schedule-depth gauge. The wrapper
+//! is transparent: it forwards the inner scheduler's choice unchanged, so
+//! instrumenting a run cannot alter it.
+
+use crate::async_net::{NetEvent, NetScheduler};
+use crate::semi_sync::{SemiSyncEvent, SemiSyncScheduler};
+use crate::shared_mem::{MemEvent, MemScheduler};
+use rrfd_core::{IdSet, ProcessId};
+use rrfd_obs::{names, Labels, Obs};
+
+/// A scheduler wrapper that records each decision as `rrfd_sim_*` metrics
+/// before forwarding it unchanged.
+#[derive(Debug)]
+pub struct Instrumented<S> {
+    inner: S,
+    obs: Obs,
+    depth: u64,
+}
+
+impl<S> Instrumented<S> {
+    /// Wraps `inner`, recording its decisions into `obs`.
+    #[must_use]
+    pub fn new(inner: S, obs: Obs) -> Self {
+        Instrumented {
+            inner,
+            obs,
+            depth: 0,
+        }
+    }
+
+    /// The wrapped scheduler.
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Decisions recorded so far (the schedule depth).
+    #[must_use]
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Common bookkeeping at each decision point: the branching factor
+    /// offered, then the advancing depth gauge.
+    fn decision(&mut self, branching: usize) {
+        self.depth += 1;
+        self.obs
+            .observe(names::SIM_BRANCHING, Labels::GLOBAL, branching as u64);
+        self.obs.gauge(
+            names::SIM_SCHED_DEPTH,
+            Labels::GLOBAL,
+            i64::try_from(self.depth).unwrap_or(i64::MAX),
+        );
+    }
+
+    fn step(&self, p: ProcessId) {
+        self.obs
+            .add(names::SIM_SCHED_EVENTS, Labels::process(p.index()), 1);
+        self.obs
+            .add(names::SIM_STEPS, Labels::process(p.index()), 1);
+    }
+
+    fn crash(&self, p: ProcessId) {
+        self.obs
+            .add(names::SIM_SCHED_EVENTS, Labels::process(p.index()), 1);
+        self.obs
+            .add(names::SIM_CRASHES, Labels::process(p.index()), 1);
+    }
+}
+
+impl<S: MemScheduler> MemScheduler for Instrumented<S> {
+    fn next_event(&mut self, runnable: IdSet, step: u64) -> MemEvent {
+        self.decision(runnable.len());
+        let event = self.inner.next_event(runnable, step);
+        match event {
+            MemEvent::Step(p) => self.step(p),
+            MemEvent::Crash(p) => self.crash(p),
+        }
+        event
+    }
+}
+
+impl<S: SemiSyncScheduler> SemiSyncScheduler for Instrumented<S> {
+    fn next_event(&mut self, live: IdSet, step: u64) -> SemiSyncEvent {
+        self.decision(live.len());
+        let event = self.inner.next_event(live, step);
+        match event {
+            SemiSyncEvent::Step(p) => self.step(p),
+            SemiSyncEvent::Crash(p) => self.crash(p),
+        }
+        event
+    }
+}
+
+impl<S: NetScheduler> NetScheduler for Instrumented<S> {
+    fn next_event(&mut self, channels: &[(ProcessId, ProcessId)], deliveries: u64) -> NetEvent {
+        self.decision(channels.len());
+        let event = self.inner.next_event(channels, deliveries);
+        match event {
+            NetEvent::Deliver { to, .. } => {
+                self.obs
+                    .add(names::SIM_SCHED_EVENTS, Labels::process(to.index()), 1);
+                self.obs
+                    .add(names::SIM_DELIVERIES, Labels::process(to.index()), 1);
+            }
+            NetEvent::Crash(p) => self.crash(p),
+        }
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared_mem::{Action, MemProcess, Observation, SharedMemSim};
+    use rrfd_core::SystemSize;
+
+    /// Steps round-robin through the runnable set.
+    struct RoundRobin {
+        turn: usize,
+    }
+    impl MemScheduler for RoundRobin {
+        fn next_event(&mut self, runnable: IdSet, _step: u64) -> MemEvent {
+            let ids: Vec<_> = runnable.iter().collect();
+            let pick = ids[self.turn % ids.len()];
+            self.turn += 1;
+            MemEvent::Step(pick)
+        }
+    }
+
+    #[derive(Debug)]
+    struct WriteThenDecide {
+        me: ProcessId,
+    }
+    impl MemProcess<u64> for WriteThenDecide {
+        type Output = ();
+        fn step(&mut self, obs: Observation<u64>) -> Action<u64, ()> {
+            match obs {
+                Observation::Start => Action::Write {
+                    bank: 0,
+                    value: self.me.index() as u64,
+                },
+                _ => Action::Decide(()),
+            }
+        }
+    }
+
+    #[test]
+    fn wrapped_scheduler_is_transparent_and_counted() {
+        let n = SystemSize::new(2).unwrap();
+        let sim = SharedMemSim::new(n, 1);
+        let make = || {
+            vec![
+                WriteThenDecide {
+                    me: ProcessId::new(0),
+                },
+                WriteThenDecide {
+                    me: ProcessId::new(1),
+                },
+            ]
+        };
+
+        // Baseline run with the bare scheduler.
+        let bare = sim.run(make(), &mut RoundRobin { turn: 0 }).unwrap();
+
+        // Instrumented run makes identical choices.
+        let obs = Obs::logical();
+        let mut wrapped = Instrumented::new(RoundRobin { turn: 0 }, obs.clone());
+        let instrumented = sim.run(make(), &mut wrapped).unwrap();
+        assert_eq!(bare.outputs, instrumented.outputs);
+
+        let snap = obs.snapshot();
+        let events = snap.counter_total(names::SIM_SCHED_EVENTS);
+        assert_eq!(events, wrapped.depth());
+        assert_eq!(snap.counter_total(names::SIM_STEPS), events);
+        assert_eq!(snap.counter_total(names::SIM_CRASHES), 0);
+        // Branching was observed once per decision.
+        let branching = snap
+            .get(names::SIM_BRANCHING, Labels::GLOBAL)
+            .expect("branching histogram recorded");
+        match branching {
+            rrfd_obs::MetricValue::Histogram(h) => assert_eq!(h.count, events),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

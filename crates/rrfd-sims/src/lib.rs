@@ -33,6 +33,7 @@ pub mod async_net;
 pub mod async_rounds;
 pub mod detector_s;
 pub mod explore;
+pub mod instrument;
 pub mod semi_sync;
 pub mod shared_mem;
 pub mod sync_net;

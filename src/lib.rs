@@ -18,6 +18,9 @@
 //!   consensus of Section 5.
 //! * [`runtime`] — a threaded execution harness that runs RRFD algorithms on
 //!   real OS threads with a coordinator fault detector.
+//! * [`obs`] — round-structured observability: deterministic counters,
+//!   gauges, and histograms keyed by `(metric, process, round)`, with
+//!   JSONL and Prometheus exporters and a pluggable clock.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@ pub mod guide;
 
 pub use rrfd_core as core;
 pub use rrfd_models as models;
+pub use rrfd_obs as obs;
 pub use rrfd_protocols as protocols;
 pub use rrfd_runtime as runtime;
 pub use rrfd_sims as sims;

@@ -105,6 +105,30 @@ fn capture_clean_events() -> String {
 }
 
 #[test]
+fn stats_goldens_are_current() {
+    // The CI `obs` job runs `rrfd-analyze stats --check` against these
+    // goldens; this test catches drift locally first. Regenerate with
+    // `REGEN_FIXTURES=1 cargo test --test analyze_fixtures`.
+    for (capture, golden) in [
+        ("trace_clean.txt", "stats_trace_clean.golden"),
+        ("events_clean.txt", "stats_events_clean.golden"),
+    ] {
+        let rendered = rrfd_analyze::stats::render(&fixture(capture)).unwrap();
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(golden);
+        if std::env::var_os("REGEN_FIXTURES").is_some() {
+            std::fs::write(&path, &rendered).unwrap();
+        }
+        assert_eq!(
+            rendered,
+            fixture(golden),
+            "{golden} is stale — regenerate with REGEN_FIXTURES=1"
+        );
+    }
+}
+
+#[test]
 fn clean_events_fixture_passes_and_matches_real_instrumentation() {
     if std::env::var_os("REGEN_FIXTURES").is_some() {
         let path =

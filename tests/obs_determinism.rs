@@ -1,0 +1,77 @@
+//! Determinism properties of the observability layer.
+//!
+//! Two contracts from the `rrfd-obs` design notes, held by proptest:
+//!
+//! 1. **Byte-identical snapshots.** Two `Engine::run_traced` runs under
+//!    the same seeded adversary, each recording into a fresh logical-clock
+//!    `Obs`, must produce byte-identical JSONL and Prometheus exports —
+//!    metrics are as replayable as the traces they describe.
+//! 2. **The no-op recorder is invisible.** Running with `Obs::noop()`
+//!    yields exactly the trace of an uninstrumented engine, records
+//!    nothing, and matches the instrumented run's trace too: observation
+//!    never perturbs the observed execution.
+
+use proptest::prelude::*;
+use rrfd::core::{Engine, SystemSize};
+use rrfd::models::adversary::RandomAdversary;
+use rrfd::models::predicates::Crash;
+use rrfd::obs::{Obs, Snapshot};
+use rrfd::protocols::kset::FloodMin;
+
+/// Runs flood-set under a seeded crash adversary, optionally through an
+/// observability handle, and returns the run's full trace text (outcome
+/// included, so even failing runs compare meaningfully).
+fn flood_trace(n: usize, f: usize, seed: u64, obs: Option<Obs>) -> String {
+    let size = SystemSize::new(n).unwrap();
+    let model = Crash::new(size, f);
+    let protos: Vec<_> = (0..n as u64)
+        .map(|v| FloodMin::new(1000 + v, f as u32 + 1))
+        .collect();
+    let mut adv = RandomAdversary::new(model, seed);
+    let mut engine = Engine::new(size);
+    if let Some(obs) = obs {
+        engine = engine.obs(obs);
+    }
+    let (_, trace) = engine.run_traced(protos, &mut adv, &model);
+    trace.to_string()
+}
+
+proptest! {
+    #[test]
+    fn identical_runs_produce_byte_identical_metric_snapshots(
+        n in 2usize..7,
+        f_pick in 0usize..100,
+        seed in any::<u64>(),
+    ) {
+        let f = f_pick % n;
+        let obs_a = Obs::logical();
+        let trace_a = flood_trace(n, f, seed, Some(obs_a.clone()));
+        let obs_b = Obs::logical();
+        let trace_b = flood_trace(n, f, seed, Some(obs_b.clone()));
+        prop_assert_eq!(&trace_a, &trace_b);
+
+        let (snap_a, snap_b) = (obs_a.snapshot(), obs_b.snapshot());
+        prop_assert_eq!(snap_a.to_jsonl(), snap_b.to_jsonl());
+        prop_assert_eq!(snap_a.to_prometheus(), snap_b.to_prometheus());
+
+        // The deterministic export also round-trips losslessly.
+        let parsed = Snapshot::from_jsonl(&snap_a.to_jsonl()).unwrap();
+        prop_assert_eq!(parsed.to_jsonl(), snap_a.to_jsonl());
+    }
+
+    #[test]
+    fn noop_recorder_changes_no_observable_output(
+        n in 2usize..7,
+        f_pick in 0usize..100,
+        seed in any::<u64>(),
+    ) {
+        let f = f_pick % n;
+        let noop = Obs::noop();
+        let with_noop = flood_trace(n, f, seed, Some(noop.clone()));
+        let uninstrumented = flood_trace(n, f, seed, None);
+        let instrumented = flood_trace(n, f, seed, Some(Obs::logical()));
+        prop_assert_eq!(&with_noop, &uninstrumented);
+        prop_assert_eq!(&with_noop, &instrumented);
+        prop_assert!(noop.snapshot().entries().is_empty());
+    }
+}
