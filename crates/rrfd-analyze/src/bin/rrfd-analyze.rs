@@ -13,11 +13,15 @@ const USAGE: &str = "\
 usage: rrfd-analyze <command> [options]
 
 commands:
-  lattice [--depth N] [--n N] [--f F] [--check | --update] [--file PATH]
+  lattice [--depth N] [--n N] [--f F] [--workers W] [--check | --update]
+          [--file PATH]
       Compute the predicate-implication lattice over the standard zoo
-      (default n=3, f=1, depth 2) and print it as markdown. With --check,
-      compare against the `<!-- lattice:begin -->` block in PATH (default
-      EXPERIMENTS.md) and fail on drift; with --update, rewrite the block.
+      (default n=3, f=1, depth 3) and print it as markdown. The pair
+      searches run on W threads (default: RRFD_EXPLORE_WORKERS, else the
+      machine's parallelism); the result is identical at any W. With
+      --check, compare against the `<!-- lattice:begin -->` block in PATH
+      (default EXPERIMENTS.md) and fail on drift; with --update, rewrite
+      the block.
 
   races <trace-file> [--expect-violations]
       Analyze a serialized `rrfd-trace v1` or `rrfd-events v1` capture.
@@ -62,6 +66,16 @@ fn main() -> ExitCode {
     }
 }
 
+/// Default worker count for parallel analyses: `RRFD_EXPLORE_WORKERS`,
+/// else the machine's available parallelism.
+fn default_workers() -> usize {
+    std::env::var("RRFD_EXPLORE_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
 fn usage_error(message: &str) -> ExitCode {
     eprintln!("{message}\n");
     eprint!("{USAGE}");
@@ -95,10 +109,10 @@ const LATTICE_END: &str = "<!-- lattice:end -->";
 
 fn run_lattice(args: &[String]) -> ExitCode {
     let mut rest = args.to_vec();
-    let parsed = (|| -> Result<(u32, usize, usize, Option<String>), String> {
+    let parsed = (|| -> Result<(u32, usize, usize, usize, Option<String>), String> {
         let depth = match take_value(&mut rest, "--depth")? {
             Some(v) => v.parse().map_err(|_| format!("bad --depth {v:?}"))?,
-            None => 2,
+            None => 3,
         };
         let n = match take_value(&mut rest, "--n")? {
             Some(v) => v.parse().map_err(|_| format!("bad --n {v:?}"))?,
@@ -108,10 +122,14 @@ fn run_lattice(args: &[String]) -> ExitCode {
             Some(v) => v.parse().map_err(|_| format!("bad --f {v:?}"))?,
             None => 1,
         };
+        let workers = match take_value(&mut rest, "--workers")? {
+            Some(v) => v.parse().map_err(|_| format!("bad --workers {v:?}"))?,
+            None => default_workers(),
+        };
         let file = take_value(&mut rest, "--file")?;
-        Ok((depth, n, f, file))
+        Ok((depth, n, f, workers, file))
     })();
-    let (depth, n, f, file) = match parsed {
+    let (depth, n, f, workers, file) = match parsed {
         Ok(p) => p,
         Err(e) => return usage_error(&e),
     };
@@ -128,11 +146,11 @@ fn run_lattice(args: &[String]) -> ExitCode {
     };
 
     eprintln!(
-        "computing the implication lattice (n={}, f={f}, depth {depth})...",
+        "computing the implication lattice (n={}, f={f}, depth {depth}, {workers} worker(s))...",
         n.get()
     );
     let zoo = lattice::zoo(n, f);
-    let computed = lattice::Lattice::compute(&zoo, depth);
+    let computed = lattice::Lattice::compute_par(&zoo, depth, workers.max(1));
     let rendered = computed.render_markdown();
 
     if !check && !update {

@@ -27,6 +27,12 @@ use rrfd_models::predicates::{
     KUncertainty, SendOmission, Snapshot, SomeoneTrustedByAll, Swmr, SystemB,
 };
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A predicate boxed for use from worker threads: the element type of the
+/// [`zoo`] family and the input to [`Lattice::compute`] /
+/// [`Lattice::compute_par`].
+pub type SharedPredicate = Box<dyn RrfdPredicate + Send + Sync>;
 
 /// A witness that `A ⇏ B`: an `A`-legal pattern whose final round `B`
 /// rejects (every proper prefix is legal for both).
@@ -137,7 +143,7 @@ pub fn certificate(cex: &LatticeCounterexample) -> RunTrace {
 /// Panics when `f` is not a legal resilience for `n` (the individual
 /// constructors check).
 #[must_use]
-pub fn zoo(n: SystemSize, f: usize) -> Vec<Box<dyn RrfdPredicate>> {
+pub fn zoo(n: SystemSize, f: usize) -> Vec<SharedPredicate> {
     let t = n.get().div_ceil(2) - 1; // largest t with 2t < n
     vec![
         Box::new(Crash::new(n, f)),
@@ -177,24 +183,87 @@ impl Lattice {
     ///
     /// Panics when the family is empty or spans different system sizes.
     #[must_use]
-    pub fn compute(predicates: &[Box<dyn RrfdPredicate>], max_rounds: u32) -> Self {
+    pub fn compute(predicates: &[SharedPredicate], max_rounds: u32) -> Self {
+        Lattice::compute_par(predicates, max_rounds, 1)
+    }
+
+    /// As [`Lattice::compute`], but deciding the `len × len` implication
+    /// pairs on up to `workers` threads (each pair is an independent
+    /// bounded-exhaustive search). Results are folded in pair order, so
+    /// the computed lattice — matrix, counterexamples, rendering — is
+    /// identical at every worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the family is empty or spans different system sizes.
+    #[must_use]
+    pub fn compute_par(predicates: &[SharedPredicate], max_rounds: u32, workers: usize) -> Self {
         let first = predicates
             .first()
             .unwrap_or_else(|| panic!("lattice needs at least one predicate"));
         let n = first.system_size();
         let names: Vec<String> = predicates.iter().map(|p| p.name()).collect();
-        let mut matrix = vec![vec![false; predicates.len()]; predicates.len()];
+        let len = predicates.len();
+        let pairs: Vec<(usize, usize)> = (0..len)
+            .flat_map(|i| (0..len).map(move |j| (i, j)))
+            .collect();
+
+        let decide = |&(i, j): &(usize, usize)| {
+            if i == j {
+                Ok(())
+            } else {
+                implies(predicates[i].as_ref(), predicates[j].as_ref(), max_rounds)
+            }
+        };
+
+        let worker_count = workers.clamp(1, pairs.len().max(1));
+        let mut slots: Vec<Option<Result<(), LatticeCounterexample>>> = Vec::new();
+        slots.resize_with(pairs.len(), || None);
+        if worker_count <= 1 {
+            for (k, pair) in pairs.iter().enumerate() {
+                slots[k] = Some(decide(pair));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let pairs_ref = &pairs;
+            let collected: Vec<Vec<(usize, Result<(), LatticeCounterexample>)>> =
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..worker_count)
+                        .map(|_| {
+                            s.spawn(|| {
+                                let mut local = Vec::new();
+                                loop {
+                                    let k = next.fetch_add(1, Ordering::Relaxed);
+                                    if k >= pairs_ref.len() {
+                                        break;
+                                    }
+                                    local.push((k, decide(&pairs_ref[k])));
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(local) => local,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .collect()
+                });
+            for (k, outcome) in collected.into_iter().flatten() {
+                slots[k] = Some(outcome);
+            }
+        }
+
+        let mut matrix = vec![vec![false; len]; len];
         let mut counterexamples = Vec::new();
-        for (i, a) in predicates.iter().enumerate() {
-            for (j, b) in predicates.iter().enumerate() {
-                if i == j {
-                    matrix[i][j] = true;
-                    continue;
-                }
-                match implies(a.as_ref(), b.as_ref(), max_rounds) {
-                    Ok(()) => matrix[i][j] = true,
-                    Err(cex) => counterexamples.push(((i, j), cex)),
-                }
+        for (k, slot) in slots.into_iter().enumerate() {
+            let (i, j) = pairs[k];
+            match slot {
+                Some(Ok(())) => matrix[i][j] = true,
+                Some(Err(cex)) => counterexamples.push(((i, j), cex)),
+                None => unreachable!("every pair is claimed exactly once"),
             }
         }
         Lattice {
@@ -441,7 +510,7 @@ mod tests {
     #[test]
     fn implication_is_reflexive_and_antisymmetry_shows_in_classes() {
         let n = n3();
-        let family: Vec<Box<dyn RrfdPredicate>> = vec![
+        let family: Vec<SharedPredicate> = vec![
             Box::new(Crash::new(n, 1)),
             Box::new(SendOmission::new(n, 1)),
             Box::new(KUncertainty::new(n, 1)),
@@ -467,7 +536,7 @@ mod tests {
     #[test]
     fn render_is_deterministic_and_carries_the_matrix() {
         let n = n3();
-        let family: Vec<Box<dyn RrfdPredicate>> = vec![
+        let family: Vec<SharedPredicate> = vec![
             Box::new(Crash::new(n, 1)),
             Box::new(SendOmission::new(n, 1)),
         ];
@@ -477,5 +546,16 @@ mod tests {
         assert_eq!(one, two);
         assert!(one.contains("✓"), "{one}");
         assert!(one.contains("Hasse cover edges"), "{one}");
+    }
+
+    #[test]
+    fn parallel_compute_matches_sequential_at_every_worker_count() {
+        let n = n3();
+        let family = zoo(n, 1);
+        let sequential = Lattice::compute(&family, 1).render_markdown();
+        for workers in [2, 4, 16] {
+            let parallel = Lattice::compute_par(&family, 1, workers).render_markdown();
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
     }
 }

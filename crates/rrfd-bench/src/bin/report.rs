@@ -26,9 +26,12 @@ use rrfd_protocols::kset::{FloodMin, OneRoundKSet, SnapshotKSet};
 use rrfd_protocols::s_consensus::SRotatingConsensus;
 use rrfd_protocols::semi_sync_consensus::TwoStepConsensus;
 use rrfd_runtime::{MetricsSink, ThreadedEngine};
+use rrfd_sims::digest::{DigestWriter, StateDigest};
+use rrfd_sims::explore::explore_schedules_checked;
+use rrfd_sims::explore_par::{explore_shared_mem_par, no_fingerprint, ParConfig};
 use rrfd_sims::instrument::Instrumented;
 use rrfd_sims::semi_sync::{RandomSemiSync, SemiSyncSim};
-use rrfd_sims::shared_mem::{RandomScheduler, SharedMemSim};
+use rrfd_sims::shared_mem::{Action, MemProcess, Observation, RandomScheduler, SharedMemSim};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -199,6 +202,84 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// The explorer head-to-head workload: an id-symmetric snapshot protocol
+/// (write a constant, snapshot twice, decide on the last view) whose
+/// 12-event schedule tree has `12!/(4!)³ = 34650` interleavings but only a
+/// handful of distinct states — exactly the shape where the parallel
+/// explorer's converged-state memoization should pay off over the
+/// sequential re-run walker.
+#[derive(Debug, Clone)]
+struct SweepSnap {
+    phase: u8,
+    seen: u64,
+}
+
+impl MemProcess<u64> for SweepSnap {
+    type Output = u64;
+    fn step(&mut self, obs: Observation<u64>) -> Action<u64, u64> {
+        self.phase += 1;
+        match obs {
+            Observation::Start => Action::Write { bank: 0, value: 7 },
+            Observation::Written => Action::Snapshot { bank: 0 },
+            Observation::SnapshotView(view) => {
+                self.seen = view.iter().flatten().count() as u64;
+                if self.phase < 4 {
+                    Action::Snapshot { bank: 0 }
+                } else {
+                    Action::Decide(self.seen)
+                }
+            }
+            other => panic!("unexpected observation {other:?}"),
+        }
+    }
+}
+
+impl StateDigest for SweepSnap {
+    fn digest(&self, w: &mut DigestWriter) {
+        self.phase.digest(w);
+        self.seen.digest(w);
+    }
+}
+
+struct ExploreRow {
+    sequential_ns: u64,
+    parallel_ns: u64,
+    workers: usize,
+    speedup_x100: u64,
+}
+
+/// Times the sequential re-run explorer against the parallel pruned one on
+/// the same envelope (crash-free, full schedule tree) and reports the
+/// speedup as an integer percentage ratio.
+fn measure_explore(samples: usize) -> ExploreRow {
+    let size = n(3);
+    let sim = SharedMemSim::new(size, 1).with_snapshots();
+    let make = || {
+        (0..3)
+            .map(|_| SweepSnap { phase: 0, seen: 0 })
+            .collect::<Vec<_>>()
+    };
+    let seq_times = time_samples(samples, || {
+        let stats = explore_schedules_checked(&sim, make, |_| Ok(()), 50_000).expect("seq explore");
+        assert_eq!(stats.schedules, 34_650);
+    });
+    let workers = 4;
+    let config = ParConfig::new(workers).split_depth(2);
+    let par_times = time_samples(samples, || {
+        let stats = explore_shared_mem_par(&sim, make, |_| Ok(()), no_fingerprint, &config)
+            .expect("par explore");
+        assert!(stats.pruned_by_hash > 0, "memoization must fire");
+    });
+    let sequential_ns = quantile(&seq_times, 0.5);
+    let parallel_ns = quantile(&par_times, 0.5).max(1);
+    ExploreRow {
+        sequential_ns,
+        parallel_ns,
+        workers,
+        speedup_x100: sequential_ns * 100 / parallel_ns,
+    }
+}
+
 struct ExperimentRow {
     name: &'static str,
     samples: usize,
@@ -262,6 +343,12 @@ fn run_report(quick: bool) -> String {
         0.5,
     );
 
+    // Explorer head-to-head: sequential re-run walker vs the parallel,
+    // memoizing one, same envelope.
+    let explore_samples = if quick { 3 } else { 7 };
+    eprintln!("measuring explorer speedup ({explore_samples} samples per walker)...");
+    let explore = measure_explore(explore_samples);
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"format\": \"{FORMAT}\",\n"));
@@ -287,7 +374,12 @@ fn run_report(quick: bool) -> String {
     out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"overhead\": {{\"baseline_ns\": {baseline}, \"noop_ns\": {noop}, \
-         \"sharded_ns\": {sharded}}}\n"
+         \"sharded_ns\": {sharded}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"explore\": {{\"sequential_ns\": {}, \"parallel_ns\": {}, \"workers\": {}, \
+         \"speedup_x100\": {}}}\n",
+        explore.sequential_ns, explore.parallel_ns, explore.workers, explore.speedup_x100,
     ));
     out.push_str("}\n");
     out
@@ -344,6 +436,13 @@ fn check_schema(text: &str) -> Result<(), String> {
             .get(field)
             .and_then(json::Json::as_u64)
             .ok_or_else(|| format!("overhead: missing integer `{field}`"))?;
+    }
+    let explore = root.get("explore").ok_or("missing object `explore`")?;
+    for field in ["sequential_ns", "parallel_ns", "workers", "speedup_x100"] {
+        explore
+            .get(field)
+            .and_then(json::Json::as_u64)
+            .ok_or_else(|| format!("explore: missing integer `{field}`"))?;
     }
     Ok(())
 }

@@ -147,7 +147,7 @@ impl fmt::Debug for RoundFaults {
 /// assert_eq!(pattern.rounds(), 1);
 /// assert!(pattern.round(Round::FIRST).unwrap().union().is_empty());
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct FaultPattern {
     n: SystemSize,
     rounds: Vec<RoundFaults>,
@@ -250,6 +250,25 @@ mod tests {
 
     fn n4() -> SystemSize {
         SystemSize::new(4).unwrap()
+    }
+
+    #[test]
+    fn patterns_are_hashable() {
+        use std::collections::HashSet;
+
+        let n = n4();
+        let mut a = FaultPattern::new(n);
+        a.push(RoundFaults::none(n));
+        let mut b = FaultPattern::new(n);
+        b.push(RoundFaults::from_sets(
+            n,
+            vec![ids(&[3]), ids(&[3]), ids(&[3]), ids(&[3])],
+        ));
+        let mut set = HashSet::new();
+        assert!(set.insert(a.clone()));
+        assert!(set.insert(b));
+        assert!(!set.insert(a), "re-inserting an equal pattern must dedup");
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

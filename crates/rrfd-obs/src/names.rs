@@ -80,3 +80,13 @@ pub const EXPLORE_SCHEDULES: &str = "rrfd_explore_schedules_total";
 pub const EXPLORE_DECISION_POINTS: &str = "rrfd_explore_decision_points_total";
 /// Gauge: deepest decision sequence any explored schedule reached.
 pub const EXPLORE_MAX_DEPTH: &str = "rrfd_explore_max_depth";
+/// Counter: subtrees skipped by converged-state memoization
+/// (`explore_par` hash pruning).
+pub const EXPLORE_PRUNED_HASH: &str = "rrfd_explore_pruned_by_hash_total";
+/// Counter: branches skipped by process-id symmetry reduction
+/// (`explore_par`, opt-in).
+pub const EXPLORE_PRUNED_SYMMETRY: &str = "rrfd_explore_pruned_by_symmetry_total";
+/// Gauge: worker threads the exploration ran on.
+pub const EXPLORE_WORKERS: &str = "rrfd_explore_workers";
+/// Counter: independent subtree jobs the schedule tree was split into.
+pub const EXPLORE_SPLITS: &str = "rrfd_explore_splits_total";

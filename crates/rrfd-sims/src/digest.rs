@@ -1,0 +1,338 @@
+//! Canonical state digests — the memoization seam of the parallel explorer.
+//!
+//! Two interleavings of a protocol frequently *converge*: writes to
+//! distinct SWMR cells commute, so many schedule prefixes reach the same
+//! simulator state. The parallel explorer ([`crate::explore_par`])
+//! deduplicates converged states, which requires a canonical, hashable
+//! encoding of "everything that can still influence the run's outcome":
+//! bank contents, per-process protocol state, pending observations,
+//! recorded outputs, the crash set, and the step counter.
+//!
+//! A type opts into this by implementing [`StateDigest`]: it feeds a
+//! canonical byte encoding of itself into a [`DigestWriter`]. The writer
+//! produces a [`StateKey`] carrying both a cheap 64-bit FNV-1a hash *and*
+//! the full byte encoding. [`DigestMemo`] — the dedup table — buckets by
+//! the weak hash but always confirms with a full byte comparison, so a
+//! hash collision between distinct states can never merge them (see the
+//! `colliding_states_are_not_merged` test). Soundness therefore rests only
+//! on the encoding being *injective enough*: two states with equal
+//! encodings must behave identically under every future schedule. The
+//! provided implementations tag enum discriminants and length-prefix
+//! variable-size collections to rule out ambiguous concatenations.
+
+use rrfd_core::{IdSet, ProcessId};
+use std::collections::HashMap;
+
+/// Accumulates the canonical byte encoding of a state.
+#[derive(Debug, Default)]
+pub struct DigestWriter {
+    bytes: Vec<u8>,
+}
+
+impl DigestWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        DigestWriter::default()
+    }
+
+    /// Appends raw bytes. Callers encoding variable-length data must
+    /// length-prefix it (see [`DigestWriter::write_len`]) to keep the
+    /// overall encoding unambiguous.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte — typically an enum discriminant tag.
+    pub fn write_u8(&mut self, v: u8) {
+        self.bytes.push(v);
+    }
+
+    /// Appends a `u64` in little-endian order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128` in little-endian order.
+    pub fn write_u128(&mut self, v: u128) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a collection length (prefix it *before* the elements).
+    pub fn write_len(&mut self, len: usize) {
+        self.write_u64(len as u64);
+    }
+
+    /// Finalizes into a [`StateKey`]: weak hash plus full encoding.
+    #[must_use]
+    pub fn finish(self) -> StateKey {
+        let hash = fnv1a(&self.bytes);
+        StateKey {
+            hash,
+            bytes: self.bytes.into_boxed_slice(),
+        }
+    }
+}
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A canonical state encoding: a weak 64-bit hash for bucketing and the
+/// full byte string for the equality confirm path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateKey {
+    hash: u64,
+    bytes: Box<[u8]>,
+}
+
+impl StateKey {
+    /// The weak bucketing hash.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The full canonical encoding.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// The dedup table: keys bucketed by weak hash, membership always
+/// confirmed by comparing the full encodings. Distinct states that happen
+/// to collide on the 64-bit hash land in the same bucket but are *not*
+/// merged.
+#[derive(Debug, Default)]
+pub struct DigestMemo {
+    buckets: HashMap<u64, Vec<Box<[u8]>>>,
+    entries: usize,
+}
+
+impl DigestMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        DigestMemo::default()
+    }
+
+    /// Inserts `key`; returns `true` when the state is fresh (not seen
+    /// before) and `false` when an *identical* encoding was already
+    /// present.
+    pub fn insert(&mut self, key: StateKey) -> bool {
+        self.insert_raw(key.hash, key.bytes)
+    }
+
+    /// Raw-entry insert used by the collision soundness tests: callers can
+    /// force two different byte strings under the same weak hash and
+    /// observe that both are kept.
+    pub fn insert_raw(&mut self, hash: u64, bytes: Box<[u8]>) -> bool {
+        let bucket = self.buckets.entry(hash).or_default();
+        if bucket.iter().any(|seen| **seen == *bytes) {
+            return false;
+        }
+        bucket.push(bytes);
+        self.entries += 1;
+        true
+    }
+
+    /// Number of distinct states retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// `true` when nothing was inserted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+/// Feeds a canonical byte encoding of `self` into a [`DigestWriter`].
+///
+/// Contract: if two values of the same type produce equal byte streams,
+/// they must be observationally equivalent — every future the simulator
+/// can produce from one, it can produce from the other. Implementations
+/// for sum types must write a discriminant tag; implementations for
+/// variable-size collections must length-prefix.
+pub trait StateDigest {
+    /// Writes the canonical encoding of `self`.
+    fn digest(&self, w: &mut DigestWriter);
+}
+
+macro_rules! digest_via_u64 {
+    ($($ty:ty),*) => {$(
+        impl StateDigest for $ty {
+            fn digest(&self, w: &mut DigestWriter) {
+                w.write_u64(*self as u64);
+            }
+        }
+    )*};
+}
+
+digest_via_u64!(u8, u16, u32, u64, usize);
+
+impl StateDigest for i64 {
+    fn digest(&self, w: &mut DigestWriter) {
+        w.write_u64(*self as u64);
+    }
+}
+
+impl StateDigest for bool {
+    fn digest(&self, w: &mut DigestWriter) {
+        w.write_u8(u8::from(*self));
+    }
+}
+
+impl StateDigest for () {
+    fn digest(&self, _w: &mut DigestWriter) {}
+}
+
+impl StateDigest for ProcessId {
+    fn digest(&self, w: &mut DigestWriter) {
+        w.write_u64(self.index() as u64);
+    }
+}
+
+impl StateDigest for IdSet {
+    fn digest(&self, w: &mut DigestWriter) {
+        w.write_len(self.len());
+        for p in self.iter() {
+            p.digest(w);
+        }
+    }
+}
+
+impl<T: StateDigest> StateDigest for Option<T> {
+    fn digest(&self, w: &mut DigestWriter) {
+        match self {
+            None => w.write_u8(0),
+            Some(v) => {
+                w.write_u8(1);
+                v.digest(w);
+            }
+        }
+    }
+}
+
+impl<T: StateDigest> StateDigest for [T] {
+    fn digest(&self, w: &mut DigestWriter) {
+        w.write_len(self.len());
+        for item in self {
+            item.digest(w);
+        }
+    }
+}
+
+impl<T: StateDigest> StateDigest for Vec<T> {
+    fn digest(&self, w: &mut DigestWriter) {
+        self.as_slice().digest(w);
+    }
+}
+
+impl<T: StateDigest> StateDigest for std::collections::VecDeque<T> {
+    fn digest(&self, w: &mut DigestWriter) {
+        w.write_len(self.len());
+        for item in self {
+            item.digest(w);
+        }
+    }
+}
+
+impl<A: StateDigest, B: StateDigest> StateDigest for (A, B) {
+    fn digest(&self, w: &mut DigestWriter) {
+        self.0.digest(w);
+        self.1.digest(w);
+    }
+}
+
+impl<A: StateDigest, B: StateDigest, C: StateDigest> StateDigest for (A, B, C) {
+    fn digest(&self, w: &mut DigestWriter) {
+        self.0.digest(w);
+        self.1.digest(w);
+        self.2.digest(w);
+    }
+}
+
+impl<T: StateDigest + ?Sized> StateDigest for &T {
+    fn digest(&self, w: &mut DigestWriter) {
+        (*self).digest(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_of<T: StateDigest>(value: &T) -> StateKey {
+        let mut w = DigestWriter::new();
+        value.digest(&mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn equal_values_share_a_key_distinct_values_do_not() {
+        let a = key_of(&vec![Some(1u64), None, Some(3)]);
+        let b = key_of(&vec![Some(1u64), None, Some(3)]);
+        let c = key_of(&vec![Some(1u64), Some(3), None]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_adjacent_collections() {
+        // [[1],[2]] vs [[1,2],[]] — without length prefixes these would
+        // concatenate to the same stream.
+        let a = key_of(&vec![vec![1u64], vec![2u64]]);
+        let b = key_of(&vec![vec![1u64, 2u64], Vec::<u64>::new()]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn memo_dedups_identical_keys() {
+        let mut memo = DigestMemo::new();
+        assert!(memo.insert(key_of(&7u64)));
+        assert!(!memo.insert(key_of(&7u64)));
+        assert!(memo.insert(key_of(&8u64)));
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn colliding_states_are_not_merged() {
+        // Two *different* encodings forced under one weak hash: the memo
+        // must keep both (full-equality confirm path), and re-inserting
+        // either must then dedup.
+        let mut memo = DigestMemo::new();
+        let first: Box<[u8]> = vec![1, 2, 3].into_boxed_slice();
+        let second: Box<[u8]> = vec![4, 5, 6].into_boxed_slice();
+        assert!(memo.insert_raw(0xDEAD_BEEF, first.clone()));
+        assert!(
+            memo.insert_raw(0xDEAD_BEEF, second.clone()),
+            "distinct state under a colliding hash must not be merged"
+        );
+        assert_eq!(memo.len(), 2);
+        assert!(!memo.insert_raw(0xDEAD_BEEF, first));
+        assert!(!memo.insert_raw(0xDEAD_BEEF, second));
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn idset_and_pid_digests_are_canonical() {
+        let mut s1 = IdSet::empty();
+        s1.insert(ProcessId::new(2));
+        s1.insert(ProcessId::new(0));
+        let mut s2 = IdSet::empty();
+        s2.insert(ProcessId::new(0));
+        s2.insert(ProcessId::new(2));
+        assert_eq!(key_of(&s1), key_of(&s2));
+        assert_ne!(key_of(&s1), key_of(&IdSet::empty()));
+    }
+}

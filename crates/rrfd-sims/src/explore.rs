@@ -52,9 +52,39 @@ pub struct ExploreStats {
     pub decision_points: u64,
     /// The deepest decision sequence any schedule reached.
     pub max_depth: usize,
+    /// Subtrees skipped because their root state had already been visited
+    /// (converged-state memoization; `0` for the sequential explorers).
+    pub pruned_by_hash: u64,
+    /// Branches skipped by process-id symmetry reduction (`0` unless the
+    /// parallel explorer runs with symmetry enabled).
+    pub pruned_by_symmetry: u64,
+    /// Worker threads the search ran on (`1` for the sequential
+    /// explorers).
+    pub workers: usize,
+    /// Independent subtree jobs the schedule tree was split into (`0` for
+    /// the sequential explorers — they never split).
+    pub wall_splits: usize,
 }
 
 impl ExploreStats {
+    /// Combines the totals of two disjoint parts of one search. The
+    /// operation is associative and commutative (sums and maxima), so
+    /// per-worker stats can be folded in any grouping; the parallel
+    /// explorer folds them in fixed job order to keep the result
+    /// byte-identical across runs.
+    #[must_use]
+    pub fn merged(self, other: ExploreStats) -> ExploreStats {
+        ExploreStats {
+            schedules: self.schedules + other.schedules,
+            decision_points: self.decision_points + other.decision_points,
+            max_depth: self.max_depth.max(other.max_depth),
+            pruned_by_hash: self.pruned_by_hash + other.pruned_by_hash,
+            pruned_by_symmetry: self.pruned_by_symmetry + other.pruned_by_symmetry,
+            workers: self.workers.max(other.workers),
+            wall_splits: self.wall_splits + other.wall_splits,
+        }
+    }
+
     /// Records the totals under the `rrfd_explore_*` metric names.
     pub fn record(&self, obs: &rrfd_obs::Obs) {
         use rrfd_obs::{names, Labels};
@@ -73,6 +103,26 @@ impl ExploreStats {
             Labels::GLOBAL,
             i64::try_from(self.max_depth).unwrap_or(i64::MAX),
         );
+        obs.add(
+            names::EXPLORE_PRUNED_HASH,
+            Labels::GLOBAL,
+            self.pruned_by_hash,
+        );
+        obs.add(
+            names::EXPLORE_PRUNED_SYMMETRY,
+            Labels::GLOBAL,
+            self.pruned_by_symmetry,
+        );
+        obs.gauge(
+            names::EXPLORE_WORKERS,
+            Labels::GLOBAL,
+            i64::try_from(self.workers).unwrap_or(i64::MAX),
+        );
+        obs.add(
+            names::EXPLORE_SPLITS,
+            Labels::GLOBAL,
+            self.wall_splits as u64,
+        );
     }
 }
 
@@ -87,6 +137,10 @@ pub struct Counterexample<E> {
     pub schedule: ScheduleTrace<E>,
     /// What the checker reported.
     pub message: String,
+    /// Search effort up to and *including* the failing schedule. Early
+    /// exits previously discarded these totals, under-reporting
+    /// `max_depth`; the failing run's partial depth is now folded in.
+    pub stats: ExploreStats,
 }
 
 impl<E: SchedEvent> fmt::Display for Counterexample<E> {
@@ -137,7 +191,10 @@ where
     F: FnMut(&MemRunReport<P, V>) -> Result<(), String>,
 {
     let mut prefix: Vec<usize> = Vec::new();
-    let mut stats = ExploreStats::default();
+    let mut stats = ExploreStats {
+        workers: 1,
+        ..ExploreStats::default()
+    };
     let mut runs = 0usize;
     loop {
         let mut scheduler = Recording::new(ReplayScheduler {
@@ -169,6 +226,7 @@ where
                 choices: full,
                 schedule,
                 message,
+                stats,
             }));
         }
 
@@ -294,7 +352,10 @@ pub mod semi_sync {
         F: FnMut(&SemiSyncReport<P>) -> Result<(), String>,
     {
         let mut prefix: Vec<usize> = Vec::new();
-        let mut stats = ExploreStats::default();
+        let mut stats = ExploreStats {
+            workers: 1,
+            ..ExploreStats::default()
+        };
         let mut runs = 0usize;
         loop {
             let mut scheduler = Recording::new(Replay {
@@ -327,6 +388,7 @@ pub mod semi_sync {
                     choices: full,
                     schedule,
                     message,
+                    stats,
                 }));
             }
 
@@ -545,6 +607,37 @@ mod tests {
         );
         assert!(message.contains("replayable schedule:"), "{message}");
         assert!(message.contains("rrfd-sched v1"), "{message}");
+    }
+
+    #[test]
+    fn counterexample_folds_the_failing_runs_partial_depth() {
+        let n = SystemSize::new(2).unwrap();
+        let sim = SharedMemSim::new(n, 1);
+        // The very first enumerated schedule (all-first choices: p0 runs
+        // to completion, then p1) already violates "nobody misses the
+        // other's write" — p0 reads p1's still-unwritten cell. The early
+        // exit used to discard the failing run's bookkeeping entirely,
+        // leaving `max_depth` (and everything else) at zero.
+        let cex = explore_schedules_checked(
+            &sim,
+            make_pair,
+            |report| {
+                if report.outputs.iter().any(|o| o == &Some(None)) {
+                    Err("someone missed the other's write".to_owned())
+                } else {
+                    Ok(())
+                }
+            },
+            1000,
+        )
+        .unwrap_err();
+        // One schedule of six decisions (three steps per process; p1's
+        // tail decisions are forced but still decision points).
+        assert_eq!(cex.stats.schedules, 1);
+        assert_eq!(cex.stats.decision_points, 6);
+        assert_eq!(cex.stats.max_depth, 6, "partial depth must be folded in");
+        assert_eq!(cex.stats.workers, 1);
+        assert_eq!(cex.stats.max_depth, cex.choices.len());
     }
 
     #[test]

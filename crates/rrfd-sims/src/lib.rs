@@ -21,6 +21,13 @@
 //! * [`detector_s`] — the S-augmented asynchronous system of §2 item 6.
 //! * [`explore`] — exhaustive schedule enumeration for small shared-memory
 //!   instances (turns sampled tests into proofs-by-enumeration).
+//! * [`explore_par`] — the work-distributing, pruned form of the same
+//!   search: the schedule tree is split at a prefix depth into independent
+//!   subtree jobs on `std::thread` workers, with converged-state
+//!   memoization (via the [`digest`] seam) and opt-in process-id symmetry
+//!   reduction.
+//! * [`digest`] — canonical state encodings ([`digest::StateDigest`]) and
+//!   the collision-safe dedup table backing the explorer's hash pruning.
 //! * [`trace`] — schedule capture ([`trace::Recording`]) and deterministic
 //!   replay ([`trace::ScheduleReplay`]) for the adversarial simulators, so
 //!   any failing run — including every `explore` counterexample — is a
@@ -32,7 +39,9 @@
 pub mod async_net;
 pub mod async_rounds;
 pub mod detector_s;
+pub mod digest;
 pub mod explore;
+pub mod explore_par;
 pub mod instrument;
 pub mod semi_sync;
 pub mod shared_mem;

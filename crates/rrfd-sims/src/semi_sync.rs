@@ -18,6 +18,7 @@
 //! simulator in `rrfd-protocols::semi_sync_consensus` and stress-tested
 //! against random schedules.
 
+use crate::digest::{DigestWriter, StateDigest};
 use rrfd_core::{Control, IdSet, ProcessId, SystemSize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -165,80 +166,189 @@ impl SemiSyncSim {
     /// See [`SemiSyncError`].
     pub fn run<P, S>(
         &self,
-        mut processes: Vec<P>,
+        processes: Vec<P>,
         scheduler: &mut S,
     ) -> Result<SemiSyncReport<P>, SemiSyncError>
     where
         P: SemiSyncProcess,
         S: SemiSyncScheduler + ?Sized,
     {
-        let n = self.n.get();
+        let mut exec = SemiSyncExecution::start(self, processes)?;
+        loop {
+            let live = exec.live();
+            if live.is_empty() {
+                return Ok(exec.into_report());
+            }
+            if exec.at_limit() {
+                return Err(SemiSyncError::StepLimitExceeded {
+                    max_steps: self.max_steps,
+                });
+            }
+            let event = scheduler.next_event(live, exec.total_steps());
+            exec.apply(event)?;
+        }
+    }
+}
+
+/// The state of one semi-synchronous run, advanced one scheduler event at
+/// a time — the incremental form [`SemiSyncSim::run`] loops over, and the
+/// parallel explorer clones at decision points.
+#[derive(Debug)]
+pub struct SemiSyncExecution<P: SemiSyncProcess> {
+    sim: SemiSyncSim,
+    // Per-process inbox of messages not yet consumed by a step.
+    inboxes: Vec<VecDeque<(ProcessId, P::Msg)>>,
+    outputs: Vec<Option<(P::Output, u64)>>,
+    step_counts: Vec<u64>,
+    crashed: IdSet,
+    total_steps: u64,
+    events: u64,
+    processes: Vec<P>,
+}
+
+impl<P> Clone for SemiSyncExecution<P>
+where
+    P: SemiSyncProcess + Clone,
+{
+    fn clone(&self) -> Self {
+        SemiSyncExecution {
+            sim: self.sim.clone(),
+            inboxes: self.inboxes.clone(),
+            outputs: self.outputs.clone(),
+            step_counts: self.step_counts.clone(),
+            crashed: self.crashed,
+            total_steps: self.total_steps,
+            events: self.events,
+            processes: self.processes.clone(),
+        }
+    }
+}
+
+impl<P: SemiSyncProcess> SemiSyncExecution<P> {
+    /// Begins a run of `processes` on `sim`, before any event.
+    ///
+    /// # Errors
+    ///
+    /// [`SemiSyncError::WrongProcessCount`] when the protocol vector does
+    /// not match the system size.
+    pub fn start(sim: &SemiSyncSim, processes: Vec<P>) -> Result<Self, SemiSyncError> {
+        let n = sim.n.get();
         if processes.len() != n {
             return Err(SemiSyncError::WrongProcessCount {
                 supplied: processes.len(),
                 expected: n,
             });
         }
+        Ok(SemiSyncExecution {
+            sim: sim.clone(),
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            outputs: (0..n).map(|_| None).collect(),
+            step_counts: vec![0u64; n],
+            crashed: IdSet::empty(),
+            total_steps: 0,
+            events: 0,
+            processes,
+        })
+    }
 
-        // Per-process inbox of messages not yet consumed by a step.
-        let mut inboxes: Vec<VecDeque<(ProcessId, P::Msg)>> =
-            (0..n).map(|_| VecDeque::new()).collect();
-        let mut outputs: Vec<Option<(P::Output, u64)>> = (0..n).map(|_| None).collect();
-        let mut step_counts = vec![0u64; n];
-        let mut crashed = IdSet::empty();
-        let mut total_steps = 0u64;
-        let mut events = 0u64;
-        let event_limit = self.max_steps.saturating_mul(4).saturating_add(1024);
+    /// Undecided, non-crashed processes. Empty exactly when the run is
+    /// complete.
+    #[must_use]
+    pub fn live(&self) -> IdSet {
+        (0..self.sim.n.get())
+            .map(ProcessId::new)
+            .filter(|&p| !self.crashed.contains(p) && self.outputs[p.index()].is_none())
+            .collect()
+    }
 
-        loop {
-            let done = (0..n).all(|i| outputs[i].is_some() || crashed.contains(ProcessId::new(i)));
-            if done {
-                return Ok(SemiSyncReport {
-                    outputs,
-                    crashed,
-                    total_steps,
-                    processes,
-                });
-            }
-            if total_steps >= self.max_steps || events >= event_limit {
-                return Err(SemiSyncError::StepLimitExceeded {
-                    max_steps: self.max_steps,
-                });
-            }
-            events += 1;
+    /// Atomic steps executed system-wide so far.
+    #[must_use]
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
 
-            let live: IdSet = (0..n)
-                .map(ProcessId::new)
-                .filter(|&p| !crashed.contains(p) && outputs[p.index()].is_none())
-                .collect();
+    fn at_limit(&self) -> bool {
+        let event_limit = self.sim.max_steps.saturating_mul(4).saturating_add(1024);
+        self.total_steps >= self.sim.max_steps || self.events >= event_limit
+    }
 
-            match scheduler.next_event(live, total_steps) {
-                SemiSyncEvent::Crash(p) => {
-                    if live.contains(p) {
-                        crashed.insert(p);
-                    }
-                }
-                SemiSyncEvent::Step(p) => {
-                    if !live.contains(p) {
-                        continue;
-                    }
-                    total_steps += 1;
-                    step_counts[p.index()] += 1;
-                    let received: Vec<(ProcessId, P::Msg)> = inboxes[p.index()].drain(..).collect();
-                    let (broadcast, verdict) = processes[p.index()].step(&received);
-                    if let Some(msg) = broadcast {
-                        // Synchronous communication: buffered everywhere at
-                        // once; consumed at each recipient's next step.
-                        for inbox in &mut inboxes {
-                            inbox.push_back((p, msg.clone()));
-                        }
-                    }
-                    if let Control::Decide(v) = verdict {
-                        let count = step_counts[p.index()];
-                        outputs[p.index()].get_or_insert((v, count));
-                    }
+    /// Applies one scheduler event. Events naming a non-live process are
+    /// counted but otherwise ignored, mirroring [`SemiSyncSim::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SemiSyncError`].
+    pub fn apply(&mut self, event: SemiSyncEvent) -> Result<(), SemiSyncError> {
+        if self.at_limit() {
+            return Err(SemiSyncError::StepLimitExceeded {
+                max_steps: self.sim.max_steps,
+            });
+        }
+        self.events += 1;
+        let live = self.live();
+        match event {
+            SemiSyncEvent::Crash(p) => {
+                if live.contains(p) {
+                    self.crashed.insert(p);
                 }
             }
+            SemiSyncEvent::Step(p) => {
+                if !live.contains(p) {
+                    return Ok(());
+                }
+                self.total_steps += 1;
+                self.step_counts[p.index()] += 1;
+                let received: Vec<(ProcessId, P::Msg)> =
+                    self.inboxes[p.index()].drain(..).collect();
+                let (broadcast, verdict) = self.processes[p.index()].step(&received);
+                if let Some(msg) = broadcast {
+                    // Synchronous communication: buffered everywhere at
+                    // once; consumed at each recipient's next step.
+                    for inbox in &mut self.inboxes {
+                        inbox.push_back((p, msg.clone()));
+                    }
+                }
+                if let Control::Decide(v) = verdict {
+                    let count = self.step_counts[p.index()];
+                    self.outputs[p.index()].get_or_insert((v, count));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Packages the current state as a run report — typically called once
+    /// [`SemiSyncExecution::live`] is empty.
+    #[must_use]
+    pub fn into_report(self) -> SemiSyncReport<P> {
+        SemiSyncReport {
+            outputs: self.outputs,
+            crashed: self.crashed,
+            total_steps: self.total_steps,
+            processes: self.processes,
+        }
+    }
+
+    /// Writes the canonical encoding of everything that can still
+    /// influence the run's outcome: inbox contents (sender order matters —
+    /// a step consumes its whole inbox in arrival order), outputs with
+    /// their per-process step counts, the crash set, the step counters,
+    /// and the protocol states. Unlike shared memory there is no opaque
+    /// oracle state, so every semi-synchronous execution is digestible.
+    pub fn digest_into(&self, w: &mut DigestWriter)
+    where
+        P: StateDigest,
+        P::Msg: StateDigest,
+        P::Output: StateDigest,
+    {
+        self.inboxes.digest(w);
+        self.outputs.digest(w);
+        self.step_counts.digest(w);
+        self.crashed.digest(w);
+        w.write_u64(self.total_steps);
+        w.write_len(self.processes.len());
+        for p in &self.processes {
+            p.digest(w);
         }
     }
 }

@@ -15,6 +15,7 @@
 //! deterministic given the scheduler, so any run can be replayed from a
 //! seed.
 
+use crate::digest::{DigestWriter, StateDigest};
 use rrfd_core::{IdSet, ProcessId, SystemSize};
 use std::fmt;
 
@@ -306,7 +307,7 @@ impl SharedMemSim {
     /// See [`MemSimError`].
     pub fn run<V, P, S>(
         &self,
-        mut processes: Vec<P>,
+        processes: Vec<P>,
         scheduler: &mut S,
     ) -> Result<MemRunReport<P, V>, MemSimError>
     where
@@ -314,102 +315,243 @@ impl SharedMemSim {
         P: MemProcess<V>,
         S: MemScheduler + ?Sized,
     {
-        let n = self.n.get();
+        let mut exec = MemExecution::start(self, processes)?;
+        loop {
+            let live = exec.runnable();
+            if live.is_empty() {
+                return Ok(exec.into_report());
+            }
+            if exec.at_limit() {
+                return Err(MemSimError::StepLimitExceeded {
+                    max_steps: self.max_steps,
+                });
+            }
+            let event = scheduler.next_event(live, exec.steps());
+            exec.apply(event)?;
+        }
+    }
+}
+
+/// The state of one shared-memory run, advanced one scheduler event at a
+/// time. [`SharedMemSim::run`] is a loop over this object; the parallel
+/// explorer ([`crate::explore_par`]) instead *clones* it at every decision
+/// point, turning the schedule tree into an explicit-state search in which
+/// shared prefixes are executed once instead of once per schedule.
+#[derive(Debug)]
+pub struct MemExecution<P: MemProcess<V>, V> {
+    sim: SharedMemSim,
+    cells: Vec<Option<V>>,
+    oracles: Vec<KSetObject>,
+    pending: Vec<Observation<V>>,
+    outputs: Vec<Option<P::Output>>,
+    crashed: IdSet,
+    steps: u64,
+    // Scheduler events (including crashes and no-op picks) are bounded
+    // separately so a scheduler that keeps naming non-runnable processes
+    // cannot spin the simulator forever.
+    events: u64,
+    processes: Vec<P>,
+}
+
+impl<P, V> Clone for MemExecution<P, V>
+where
+    P: MemProcess<V> + Clone,
+    P::Output: Clone,
+    V: Clone,
+{
+    fn clone(&self) -> Self {
+        MemExecution {
+            sim: self.sim.clone(),
+            cells: self.cells.clone(),
+            oracles: self.oracles.clone(),
+            pending: self.pending.clone(),
+            outputs: self.outputs.clone(),
+            crashed: self.crashed,
+            steps: self.steps,
+            events: self.events,
+            processes: self.processes.clone(),
+        }
+    }
+}
+
+impl<P: MemProcess<V>, V: Clone> MemExecution<P, V> {
+    /// Begins a run of `processes` on `sim`, before any event.
+    ///
+    /// # Errors
+    ///
+    /// [`MemSimError::WrongProcessCount`] when the protocol vector does
+    /// not match the system size.
+    pub fn start(sim: &SharedMemSim, processes: Vec<P>) -> Result<Self, MemSimError> {
+        let n = sim.n.get();
         if processes.len() != n {
             return Err(MemSimError::WrongProcessCount {
                 supplied: processes.len(),
                 expected: n,
             });
         }
+        Ok(MemExecution {
+            sim: sim.clone(),
+            cells: vec![None; sim.banks * n],
+            oracles: (0..sim.kset_objects)
+                .map(|i| KSetObject::new(sim.kset_k, sim.kset_seed.wrapping_add(i as u64)))
+                .collect(),
+            pending: vec![Observation::Start; n],
+            outputs: (0..n).map(|_| None).collect(),
+            crashed: IdSet::empty(),
+            steps: 0,
+            events: 0,
+            processes,
+        })
+    }
 
-        let mut cells: Vec<Option<V>> = vec![None; self.banks * n];
-        let mut oracles: Vec<KSetObject> = (0..self.kset_objects)
-            .map(|i| KSetObject::new(self.kset_k, self.kset_seed.wrapping_add(i as u64)))
-            .collect();
-        let mut pending: Vec<Observation<V>> = vec![Observation::Start; n];
-        let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
-        let mut crashed = IdSet::empty();
-        let mut steps = 0u64;
-        // Scheduler events (including crashes and no-op picks) are bounded
-        // separately so a scheduler that keeps naming non-runnable
-        // processes cannot spin the simulator forever.
-        let mut events = 0u64;
-        let event_limit = self.max_steps.saturating_mul(4).saturating_add(1024);
+    /// Processes that are neither decided nor crashed. Empty exactly when
+    /// the run is complete.
+    #[must_use]
+    pub fn runnable(&self) -> IdSet {
+        (0..self.sim.n.get())
+            .map(ProcessId::new)
+            .filter(|&p| self.outputs[p.index()].is_none() && !self.crashed.contains(p))
+            .collect()
+    }
 
-        let runnable = |outputs: &[Option<P::Output>], crashed: IdSet| -> IdSet {
-            (0..n)
-                .map(ProcessId::new)
-                .filter(|&p| outputs[p.index()].is_none() && !crashed.contains(p))
-                .collect()
-        };
+    /// Primitive steps executed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
 
-        loop {
-            let live = runnable(&outputs, crashed);
-            if live.is_empty() {
-                return Ok(MemRunReport {
-                    outputs,
-                    crashed,
-                    steps,
-                    processes,
-                    marker: std::marker::PhantomData,
-                });
+    /// Applies one scheduler event. Events naming a non-runnable process
+    /// are counted but otherwise ignored, mirroring [`SharedMemSim::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`MemSimError`].
+    pub fn apply(&mut self, event: MemEvent) -> Result<(), MemSimError> {
+        if self.at_limit() {
+            return Err(MemSimError::StepLimitExceeded {
+                max_steps: self.sim.max_steps,
+            });
+        }
+        self.events += 1;
+        let live = self.runnable();
+        match event {
+            MemEvent::Crash(p) => {
+                if live.contains(p) {
+                    self.crashed.insert(p);
+                }
             }
-            if steps >= self.max_steps || events >= event_limit {
-                return Err(MemSimError::StepLimitExceeded {
-                    max_steps: self.max_steps,
-                });
-            }
-            events += 1;
-
-            match scheduler.next_event(live, steps) {
-                MemEvent::Crash(p) => {
-                    if live.contains(p) {
-                        crashed.insert(p);
+            MemEvent::Step(p) => {
+                if !live.contains(p) {
+                    return Ok(());
+                }
+                self.steps += 1;
+                let n = self.sim.n.get();
+                let idx = p.index();
+                let obs = std::mem::replace(&mut self.pending[idx], Observation::Start);
+                match self.processes[idx].step(obs) {
+                    Action::Write { bank, value } => {
+                        if bank >= self.sim.banks {
+                            return Err(MemSimError::BankOutOfRange { process: p, bank });
+                        }
+                        self.cells[bank * n + idx] = Some(value);
+                        self.pending[idx] = Observation::Written;
+                    }
+                    Action::Read { bank, owner } => {
+                        if bank >= self.sim.banks {
+                            return Err(MemSimError::BankOutOfRange { process: p, bank });
+                        }
+                        self.pending[idx] =
+                            Observation::Value(self.cells[bank * n + owner.index()].clone());
+                    }
+                    Action::Snapshot { bank } => {
+                        if !self.sim.snapshots {
+                            return Err(MemSimError::SnapshotUnavailable { process: p });
+                        }
+                        if bank >= self.sim.banks {
+                            return Err(MemSimError::BankOutOfRange { process: p, bank });
+                        }
+                        let view = self.cells[bank * n..(bank + 1) * n].to_vec();
+                        self.pending[idx] = Observation::SnapshotView(view);
+                    }
+                    Action::Propose { object, value } => {
+                        let Some(oracle) = self.oracles.get_mut(object) else {
+                            return Err(MemSimError::OracleUnavailable { process: p, object });
+                        };
+                        self.pending[idx] = Observation::Chosen(oracle.propose(value));
+                    }
+                    Action::Decide(out) => {
+                        self.outputs[idx] = Some(out);
                     }
                 }
-                MemEvent::Step(p) => {
-                    if !live.contains(p) {
-                        continue;
-                    }
-                    steps += 1;
-                    let idx = p.index();
-                    let obs = std::mem::replace(&mut pending[idx], Observation::Start);
-                    match processes[idx].step(obs) {
-                        Action::Write { bank, value } => {
-                            if bank >= self.banks {
-                                return Err(MemSimError::BankOutOfRange { process: p, bank });
-                            }
-                            cells[bank * n + idx] = Some(value);
-                            pending[idx] = Observation::Written;
-                        }
-                        Action::Read { bank, owner } => {
-                            if bank >= self.banks {
-                                return Err(MemSimError::BankOutOfRange { process: p, bank });
-                            }
-                            pending[idx] =
-                                Observation::Value(cells[bank * n + owner.index()].clone());
-                        }
-                        Action::Snapshot { bank } => {
-                            if !self.snapshots {
-                                return Err(MemSimError::SnapshotUnavailable { process: p });
-                            }
-                            if bank >= self.banks {
-                                return Err(MemSimError::BankOutOfRange { process: p, bank });
-                            }
-                            let view = cells[bank * n..(bank + 1) * n].to_vec();
-                            pending[idx] = Observation::SnapshotView(view);
-                        }
-                        Action::Propose { object, value } => {
-                            let Some(oracle) = oracles.get_mut(object) else {
-                                return Err(MemSimError::OracleUnavailable { process: p, object });
-                            };
-                            pending[idx] = Observation::Chosen(oracle.propose(value));
-                        }
-                        Action::Decide(out) => {
-                            outputs[idx] = Some(out);
-                        }
-                    }
-                }
+            }
+        }
+        Ok(())
+    }
+
+    fn at_limit(&self) -> bool {
+        let event_limit = self.sim.max_steps.saturating_mul(4).saturating_add(1024);
+        self.steps >= self.sim.max_steps || self.events >= event_limit
+    }
+
+    /// Packages the current state as a run report — typically called once
+    /// [`MemExecution::runnable`] is empty.
+    #[must_use]
+    pub fn into_report(self) -> MemRunReport<P, V> {
+        MemRunReport {
+            outputs: self.outputs,
+            crashed: self.crashed,
+            steps: self.steps,
+            processes: self.processes,
+            marker: std::marker::PhantomData,
+        }
+    }
+
+    /// `false` when the state cannot be soundly digested: k-set oracle
+    /// objects carry an opaque RNG whose state the digest cannot observe,
+    /// so two executions holding oracles must never be identified.
+    #[must_use]
+    pub fn supports_digest(&self) -> bool {
+        self.oracles.is_empty()
+    }
+
+    /// Writes the canonical encoding of everything that can still
+    /// influence the run's outcome: bank contents, pending observations,
+    /// outputs, the crash set, the step counter, and the protocol states.
+    /// Callers must check [`MemExecution::supports_digest`] first.
+    pub fn digest_into(&self, w: &mut DigestWriter)
+    where
+        P: StateDigest,
+        P::Output: StateDigest,
+        V: StateDigest,
+    {
+        self.cells.digest(w);
+        self.pending.digest(w);
+        self.outputs.digest(w);
+        self.crashed.digest(w);
+        w.write_u64(self.steps);
+        w.write_len(self.processes.len());
+        for p in &self.processes {
+            p.digest(w);
+        }
+    }
+}
+
+impl<V: StateDigest> StateDigest for Observation<V> {
+    fn digest(&self, w: &mut DigestWriter) {
+        match self {
+            Observation::Start => w.write_u8(0),
+            Observation::Written => w.write_u8(1),
+            Observation::Value(v) => {
+                w.write_u8(2);
+                v.digest(w);
+            }
+            Observation::SnapshotView(view) => {
+                w.write_u8(3);
+                view.digest(w);
+            }
+            Observation::Chosen(v) => {
+                w.write_u8(4);
+                v.digest(w);
             }
         }
     }

@@ -1,0 +1,371 @@
+//! Differential tests of the parallel explorer against the sequential
+//! one: on random small symmetric protocols and random predicates, both
+//! walkers must agree on (i) whether a counterexample exists, (ii) the
+//! set of violating final-state fingerprints, and (iii) every parallel
+//! counterexample must replay — through `ScheduleReplay`, from the
+//! serialized certificate — to the same violation. Plus a determinism
+//! regression: the same configuration yields byte-identical stats and
+//! the identical counterexample on repeated runs.
+
+use proptest::prelude::*;
+use rrfd::core::{ProcessId, SystemSize};
+use rrfd::sims::digest::{DigestWriter, StateDigest};
+use rrfd::sims::explore::explore_schedules_checked;
+use rrfd::sims::explore::semi_sync::explore_semi_sync_checked;
+use rrfd::sims::explore_par::{
+    explore_semi_sync_par, explore_shared_mem_par, mem_output_fingerprint, no_fingerprint,
+    ParConfig, ParExploreError,
+};
+use rrfd::sims::semi_sync::{SemiSyncProcess, SemiSyncReport, SemiSyncSim};
+use rrfd::sims::shared_mem::{Action, MemProcess, MemRunReport, Observation, SharedMemSim};
+use rrfd::sims::trace::ScheduleReplay;
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// One instruction of the scripted protocol. Every process runs the same
+/// program, so instances are id-symmetric by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    /// Write this value to the process's own cell of bank 0.
+    Write(u64),
+    /// Snapshot bank 0 and add the number of filled cells to the
+    /// accumulator.
+    Snap,
+}
+
+/// A tiny interpreter over shared memory: execute the program one op per
+/// step (folding snapshot results into an accumulator), then decide the
+/// accumulator.
+#[derive(Debug, Clone)]
+struct Scripted {
+    ops: Vec<Op>,
+    pc: usize,
+    acc: u64,
+}
+
+impl MemProcess<u64> for Scripted {
+    type Output = u64;
+    fn step(&mut self, obs: Observation<u64>) -> Action<u64, u64> {
+        if let Observation::SnapshotView(view) = &obs {
+            self.acc += view.iter().flatten().count() as u64;
+        }
+        match self.ops.get(self.pc) {
+            Some(&op) => {
+                self.pc += 1;
+                match op {
+                    Op::Write(v) => Action::Write { bank: 0, value: v },
+                    Op::Snap => Action::Snapshot { bank: 0 },
+                }
+            }
+            None => Action::Decide(self.acc),
+        }
+    }
+}
+
+impl StateDigest for Scripted {
+    fn digest(&self, w: &mut DigestWriter) {
+        self.pc.digest(w);
+        self.acc.digest(w);
+    }
+}
+
+fn program() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u8..3).prop_map(|t| match t {
+            0 => Op::Snap,
+            v => Op::Write(u64::from(v)),
+        }),
+        1..=2,
+    )
+}
+
+/// The random predicate: "no process decides a value ≥ threshold".
+/// Low thresholds produce counterexamples, high ones do not, so both
+/// branches of the differential get exercised.
+fn violates(report: &MemRunReport<Scripted, u64>, threshold: u64) -> bool {
+    report.outputs.iter().flatten().any(|&v| v >= threshold)
+}
+
+proptest! {
+    #[test]
+    fn parallel_matches_sequential_on_scripted_protocols(
+        ops in program(),
+        n in 2usize..=3,
+        threshold in 0u64..8,
+    ) {
+        let size = SystemSize::new(n).unwrap();
+        let sim = SharedMemSim::new(size, 1).with_snapshots();
+        let make = || {
+            (0..n)
+                .map(|_| Scripted { ops: ops.clone(), pc: 0, acc: 0 })
+                .collect::<Vec<_>>()
+        };
+        let check = |report: &MemRunReport<Scripted, u64>| {
+            if violates(report, threshold) {
+                Err(format!("an output reached {threshold}"))
+            } else {
+                Ok(())
+            }
+        };
+
+        let seq = explore_schedules_checked(&sim, make, check, 100_000);
+
+        // (ii) the set of violating final-state fingerprints, collected
+        // with a never-failing check so the walkers cover everything.
+        let seq_set = RefCell::new(BTreeSet::new());
+        let collect_seq = |report: &MemRunReport<Scripted, u64>| {
+            if violates(report, threshold) {
+                seq_set.borrow_mut().insert(mem_output_fingerprint(report));
+            }
+            Ok(())
+        };
+        let seq_total = explore_schedules_checked(&sim, make, collect_seq, 100_000).unwrap();
+        let seq_set = seq_set.into_inner();
+
+        for workers in [1usize, 2, 8] {
+            for pruning in [false, true] {
+                let config = ParConfig::new(workers).hash_pruning(pruning);
+                let par_set = Mutex::new(BTreeSet::new());
+                let collect_par = |report: &MemRunReport<Scripted, u64>| {
+                    if violates(report, threshold) {
+                        par_set
+                            .lock()
+                            .unwrap()
+                            .insert(mem_output_fingerprint(report));
+                    }
+                    Ok(())
+                };
+                let covered =
+                    explore_shared_mem_par(&sim, make, collect_par, no_fingerprint, &config)
+                        .unwrap();
+                let par_fingerprints = par_set.into_inner().unwrap();
+                prop_assert!(
+                    par_fingerprints == seq_set,
+                    "violating fingerprints disagree (workers {}, pruning {}): {:?} vs {:?}",
+                    workers,
+                    pruning,
+                    par_fingerprints,
+                    seq_set
+                );
+                if !pruning {
+                    // Without pruning the walkers enumerate the exact
+                    // same set of complete schedules.
+                    prop_assert_eq!(covered.schedules, seq_total.schedules);
+                    prop_assert_eq!(covered.max_depth, seq_total.max_depth);
+                }
+
+                // (i) counterexample existence agrees; (iii) the parallel
+                // certificate replays to the same violation.
+                let par = explore_shared_mem_par(&sim, make, check, no_fingerprint, &config);
+                match (&seq, &par) {
+                    (Ok(_), Ok(_)) => {}
+                    (Err(_), Err(ParExploreError::Counterexample(cex))) => {
+                        let reparsed = cex.schedule.to_string().parse().unwrap();
+                        let mut replay = ScheduleReplay::from_trace(&reparsed);
+                        let report = sim.run(make(), &mut replay).unwrap();
+                        prop_assert!(
+                            violates(&report, threshold),
+                            "replayed certificate must reproduce the violation"
+                        );
+                    }
+                    (s, p) => prop_assert!(
+                        false,
+                        "existence disagreement (workers {}, pruning {}): seq {:?} vs par {:?}",
+                        workers, pruning, s.is_ok(), p.is_ok()
+                    ),
+                }
+            }
+        }
+
+        // Symmetry reduction accepts the (symmetric-by-construction)
+        // instance and preserves counterexample existence.
+        let sym = explore_shared_mem_par(
+            &sim,
+            make,
+            check,
+            mem_output_fingerprint,
+            &ParConfig::new(2).symmetry(true),
+        );
+        match (&seq, &sym) {
+            (Ok(_), Ok(_)) => {}
+            (Err(_), Err(ParExploreError::Counterexample(_))) => {}
+            (s, p) => prop_assert!(
+                false,
+                "symmetry run disagrees on existence: seq {:?} vs sym {:?}",
+                s.is_ok(),
+                p.is_ok()
+            ),
+        }
+    }
+}
+
+/// A broadcast-once, decide-after-`rounds`-steps semi-synchronous
+/// process; deciding on how many distinct processes it heard from.
+#[derive(Debug, Clone)]
+struct Hearer {
+    rounds: u64,
+    steps: u64,
+    heard: rrfd::core::IdSet,
+    sent: bool,
+}
+
+impl SemiSyncProcess for Hearer {
+    type Msg = ();
+    type Output = usize;
+    fn step(&mut self, received: &[(ProcessId, ())]) -> (Option<()>, rrfd::core::Control<usize>) {
+        self.steps += 1;
+        for &(from, ()) in received {
+            self.heard.insert(from);
+        }
+        let msg = (!self.sent).then(|| self.sent = true);
+        if self.steps >= self.rounds {
+            (msg, rrfd::core::Control::Decide(self.heard.len()))
+        } else {
+            (msg, rrfd::core::Control::Continue)
+        }
+    }
+}
+
+impl StateDigest for Hearer {
+    fn digest(&self, w: &mut DigestWriter) {
+        self.rounds.digest(w);
+        self.steps.digest(w);
+        self.heard.digest(w);
+        self.sent.digest(w);
+    }
+}
+
+proptest! {
+    #[test]
+    fn semi_sync_parallel_matches_sequential(
+        rounds in 2u64..=3,
+        crashes in 0usize..=1,
+        quorum in 1usize..=2,
+    ) {
+        let size = SystemSize::new(2).unwrap();
+        let sim = SemiSyncSim::new(size);
+        let make = || {
+            (0..2)
+                .map(|_| Hearer {
+                    rounds,
+                    steps: 0,
+                    heard: rrfd::core::IdSet::empty(),
+                    sent: false,
+                })
+                .collect::<Vec<_>>()
+        };
+        let check = |report: &SemiSyncReport<Hearer>| {
+            if report.outputs.iter().flatten().any(|(h, _)| *h < quorum) {
+                Err(format!("someone heard fewer than {quorum}"))
+            } else {
+                Ok(())
+            }
+        };
+
+        let seq = explore_semi_sync_checked(&sim, crashes, make, check, 200_000);
+        for workers in [1usize, 4] {
+            let config = ParConfig::new(workers).hash_pruning(false);
+            let par = explore_semi_sync_par(&sim, crashes, make, check, no_fingerprint, &config);
+            match (&seq, &par) {
+                (Ok(s), Ok(p)) => prop_assert_eq!(s.schedules, p.schedules),
+                (Err(_), Err(ParExploreError::Counterexample(cex))) => {
+                    let mut replay = ScheduleReplay::from_trace(&cex.schedule);
+                    let report = sim.run(make(), &mut replay).unwrap();
+                    prop_assert!(
+                        report.outputs.iter().flatten().any(|(h, _)| *h < quorum),
+                        "replayed semi-sync certificate must reproduce the violation"
+                    );
+                }
+                (s, p) => prop_assert!(
+                    false,
+                    "semi-sync existence disagreement: seq {:?} vs par {:?}",
+                    s.is_ok(),
+                    p.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// Same configuration in, byte-identical stats and the identical chosen
+/// counterexample out — twice in a row, and per worker count.
+#[test]
+fn exploration_is_a_deterministic_function_of_its_configuration() {
+    let size = SystemSize::new(3).unwrap();
+    let sim = SharedMemSim::new(size, 1).with_snapshots();
+    let make = || {
+        (0..3)
+            .map(|_| Scripted {
+                ops: vec![Op::Write(1), Op::Snap],
+                pc: 0,
+                acc: 0,
+            })
+            .collect::<Vec<_>>()
+    };
+    // Fails on schedules where someone's snapshot saw all three writes.
+    let check = |report: &MemRunReport<Scripted, u64>| {
+        if violates(report, 3) {
+            Err("saw a full snapshot".to_owned())
+        } else {
+            Ok(())
+        }
+    };
+
+    for workers in [1usize, 4] {
+        let config = ParConfig::new(workers);
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                explore_shared_mem_par(&sim, make, check, no_fingerprint, &config).unwrap_err()
+            })
+            .collect();
+        let [one, two] = runs.as_slice() else {
+            unreachable!()
+        };
+        let (ParExploreError::Counterexample(a), ParExploreError::Counterexample(b)) = (one, two)
+        else {
+            panic!("expected counterexamples, got {one:?} / {two:?}");
+        };
+        assert_eq!(
+            format!("{:?}", a.stats),
+            format!("{:?}", b.stats),
+            "stats must be byte-identical at {workers} workers"
+        );
+        assert_eq!(a.choices, b.choices);
+        assert_eq!(a.message, b.message);
+        assert_eq!(a.schedule.to_string(), b.schedule.to_string());
+        assert_eq!(a.stats.workers, workers.min(a.stats.wall_splits.max(1)));
+    }
+}
+
+/// The suite honours `RRFD_EXPLORE_WORKERS`: a `from_env` configuration
+/// must produce the same answers as any explicit worker count (CI runs
+/// this file at 1 and 4 workers).
+#[test]
+fn from_env_configuration_agrees_with_explicit_workers() {
+    let size = SystemSize::new(3).unwrap();
+    let sim = SharedMemSim::new(size, 1).with_snapshots();
+    let make = || {
+        (0..3)
+            .map(|_| Scripted {
+                ops: vec![Op::Snap],
+                pc: 0,
+                acc: 0,
+            })
+            .collect::<Vec<_>>()
+    };
+    let env_stats = explore_shared_mem_par(
+        &sim,
+        make,
+        |_| Ok(()),
+        no_fingerprint,
+        &ParConfig::from_env(),
+    )
+    .unwrap();
+    let one_stats =
+        explore_shared_mem_par(&sim, make, |_| Ok(()), no_fingerprint, &ParConfig::new(1)).unwrap();
+    assert_eq!(env_stats.schedules, one_stats.schedules);
+    assert_eq!(env_stats.max_depth, one_stats.max_depth);
+    assert_eq!(env_stats.pruned_by_hash, one_stats.pruned_by_hash);
+    assert!(env_stats.workers >= 1);
+}
