@@ -117,7 +117,7 @@ pub fn certificate(cex: &LatticeCounterexample) -> RunTrace {
     for (round_no, faults) in cex.pattern.iter() {
         if (round_no.get() as usize) < last {
             let heard = n.processes().map(|i| universe - faults.of(i)).collect();
-            builder.record_round(faults.clone(), heard);
+            builder.record_round(faults, heard);
         } else {
             builder.record_violating_round(faults.clone());
         }

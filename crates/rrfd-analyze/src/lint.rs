@@ -1,6 +1,6 @@
 //! A dependency-free lint pass over the workspace's library code.
 //!
-//! Four lints, each encoding a project invariant the compiler cannot:
+//! Five lints, each encoding a project invariant the compiler cannot:
 //!
 //! * **`panic-family`** — `.unwrap()`, `.expect(` and `panic!` in
 //!   non-test library code. PR 1 introduced typed error enums
@@ -18,6 +18,14 @@
 //!   flow through the pluggable `rrfd_obs::Clock` abstraction so runs
 //!   stay reproducible under a logical clock; the one sanctioned reader
 //!   (`WallClock` itself) carries an allowlist budget.
+//! * **`msg-clone`** — `msg.clone()`, or `messages[` and `.clone()` on
+//!   one line, inside the message-plane crates (`rrfd-core`,
+//!   `rrfd-runtime`, `rrfd-sims`). The zero-copy plane shares one
+//!   emission per sender (`&'a [Option<M>]` tables, `Arc` channels);
+//!   cloning a payload out of a delivery loop reintroduces the `O(n²)`
+//!   copy volume the plane exists to eliminate. The sanctioned deep copy
+//!   (`ClonePlaneEngine`, the ablation baseline) lives in `rrfd-bench`,
+//!   outside the fence.
 //!
 //! The scanner is a line-oriented token matcher, not a parser: it strips
 //! block/line comments and string literals, and skips `#[cfg(test)]`
@@ -50,6 +58,9 @@ pub enum LintKind {
     /// `Instant::now` / `SystemTime::now` in an instrumented crate,
     /// bypassing the `rrfd_obs::Clock` abstraction.
     ObsClock,
+    /// `msg.clone()` (or `messages[` + `.clone()` on one line) in a
+    /// message-plane crate — a payload deep copy in a delivery loop.
+    MsgClone,
 }
 
 impl LintKind {
@@ -61,6 +72,7 @@ impl LintKind {
             LintKind::WallClock => "wall-clock",
             LintKind::DirectIndex => "direct-index",
             LintKind::ObsClock => "obs",
+            LintKind::MsgClone => "msg-clone",
         }
     }
 
@@ -70,6 +82,7 @@ impl LintKind {
             "wall-clock" => Some(LintKind::WallClock),
             "direct-index" => Some(LintKind::DirectIndex),
             "obs" => Some(LintKind::ObsClock),
+            "msg-clone" => Some(LintKind::MsgClone),
             _ => None,
         }
     }
@@ -294,11 +307,17 @@ const DETERMINISTIC_CRATES: &[&str] = &["rrfd-core", "rrfd-models", "rrfd-sims",
 /// being reproducible under the logical clock.
 const INSTRUMENTED_CRATES: &[&str] = &["rrfd-runtime", "rrfd-obs"];
 
+/// Crates carrying the zero-copy message plane: deliveries borrow a
+/// shared emission table (or hold `Arc`s), so payload clones in delivery
+/// loops are regressions, not style.
+const MESSAGE_PLANE_CRATES: &[&str] = &["rrfd-core", "rrfd-runtime", "rrfd-sims"];
+
 /// Scans one file's text, appending findings. Exposed for testing the
 /// scanner on synthetic sources.
 pub fn scan_file(crate_name: &str, rel_path: &str, text: &str, out: &mut Vec<LintFinding>) {
     let wall_clock_applies = DETERMINISTIC_CRATES.contains(&crate_name);
     let obs_clock_applies = INSTRUMENTED_CRATES.contains(&crate_name);
+    let msg_clone_applies = MESSAGE_PLANE_CRATES.contains(&crate_name);
     let mut strip = StripState::default();
     // Once a `#[cfg(test)]` attribute is seen, skip from its first `{`
     // until the brace depth returns to zero.
@@ -343,6 +362,12 @@ pub fn scan_file(crate_name: &str, rel_path: &str, text: &str, out: &mut Vec<Lin
         }
         if code.contains("received[") {
             hit(LintKind::DirectIndex);
+        }
+        if msg_clone_applies
+            && (code.contains("msg.clone()")
+                || (code.contains("messages[") && code.contains(".clone()")))
+        {
+            hit(LintKind::MsgClone);
         }
     }
 }
@@ -561,6 +586,29 @@ mod tests {
         let found = scan("let m = d.received[j];\n");
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].kind, LintKind::DirectIndex);
+    }
+
+    #[test]
+    fn msg_clones_only_fire_in_message_plane_crates() {
+        // Both trigger shapes, inside the fence (scan() targets rrfd-core).
+        let found = scan("out.push(msg.clone());\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, LintKind::MsgClone);
+        let found = scan("let m = messages[j].clone();\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].kind, LintKind::MsgClone);
+        // Reading the table without cloning is the whole point — clean.
+        let found = scan("let m = &messages[j];\n");
+        assert!(found.is_empty(), "{found:?}");
+        // Outside the fence (bench crate hosts the sanctioned clone plane).
+        let mut out = Vec::new();
+        scan_file(
+            "rrfd-bench",
+            "crates/rrfd-bench/src/x.rs",
+            "out.push(msg.clone());\n",
+            &mut out,
+        );
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! The message-plane ablation (DESIGN.md §12): the zero-copy engine —
+//! one emission table per round, borrowed by every `Delivery` — against
+//! [`ClonePlaneEngine`], the seed's per-recipient deep-copy delivery.
+//!
+//! Two workloads at `n ∈ {8, 32, 64}`:
+//!
+//! * `full_info` — [`FullInfoFlood`], whose `Vec<u64>` payload makes a
+//!   clone cost `O(n)`, so the clone plane pays `O(n²)` words per round
+//!   where the shared plane pays only the `n` emission allocations.
+//! * `small_msg` — compact `u64` flood-min messages, isolating the
+//!   per-message bookkeeping from payload copy volume (the planes should
+//!   be near-par here).
+//!
+//! The machine-readable twin of this sweep is the `msg_plane` section of
+//! `BENCH_rrfd.json` (`cargo run -p rrfd-bench --bin report`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrfd_bench::{quick_criterion, ClonePlaneEngine, FullInfoFlood};
+use rrfd_core::{AnyPattern, Engine, SystemSize};
+use rrfd_models::adversary::NoFailures;
+use rrfd_protocols::kset::FloodMin;
+
+const ROUNDS: u32 = 6;
+
+fn bench_msg_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("msg_plane");
+    for &nv in &[8usize, 32, 64] {
+        let n = SystemSize::new(nv).unwrap();
+        let model = AnyPattern::new(n);
+        let full_info = || -> Vec<FullInfoFlood> {
+            n.processes()
+                .map(|p| FullInfoFlood::new(n, p, 1000 + p.index() as u64, ROUNDS))
+                .collect()
+        };
+        let small =
+            || -> Vec<FloodMin> { (0..nv as u64).map(|v| FloodMin::new(v, ROUNDS)).collect() };
+
+        group.bench_with_input(BenchmarkId::new("full_info_shared", nv), &n, |b, &n| {
+            b.iter(|| {
+                Engine::new(n)
+                    .run(full_info(), &mut NoFailures::new(n), &model)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("full_info_clone", nv), &n, |b, &n| {
+            b.iter(|| {
+                ClonePlaneEngine::new(n)
+                    .run(full_info(), &mut NoFailures::new(n), &model)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("small_msg_shared", nv), &n, |b, &n| {
+            b.iter(|| {
+                Engine::new(n)
+                    .run(small(), &mut NoFailures::new(n), &model)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("small_msg_clone", nv), &n, |b, &n| {
+            b.iter(|| {
+                ClonePlaneEngine::new(n)
+                    .run(small(), &mut NoFailures::new(n), &model)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_msg_plane
+}
+criterion_main!(benches);

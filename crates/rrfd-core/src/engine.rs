@@ -53,36 +53,86 @@ impl<D: FaultDetector + ?Sized> FaultDetector for Box<D> {
     }
 }
 
-/// What a process sees at the end of a round: the messages it received and
-/// the set of processes its fault detector told it not to wait for.
+/// What a process sees at the end of a round: a masked view into the
+/// round's shared emission table plus the set of processes its fault
+/// detector told it not to wait for.
 ///
-/// The engine guarantees the paper's covering property
-/// `S(i,r) ∪ D(i,r) = S`: `received[j]` is `Some` exactly when
-/// `p_j ∉ suspected`. Note that `p_i ∈ suspected` is allowed — a process may
-/// be "late to its own round" — in which case it still knows its own message
-/// through its local state.
+/// Every recipient of a round borrows the *same* table — each message is
+/// emitted once and never cloned per recipient. The view enforces the
+/// paper's covering property `S(i,r) ∪ D(i,r) = S`: [`Delivery::get`]
+/// returns `Some` exactly when the sender emitted this round and is not in
+/// `suspected`, so a suspected sender's message is unobservable even though
+/// the recipient physically holds the table. This masking is what makes
+/// sharing sound: protocols only *read* deliveries (see `DESIGN.md` §12).
+/// Note that `p_i ∈ suspected` is allowed — a process may be "late to its
+/// own round" — in which case it still knows its own message through its
+/// local state.
 #[derive(Debug)]
 pub struct Delivery<'a, M> {
     /// The round that just completed.
     pub round: Round,
     /// The receiving process.
     pub me: ProcessId,
-    /// `received[j]` is the round message of `p_j`, or `None` if suspected.
-    pub received: &'a [Option<M>],
     /// The set `D(me, round)`.
     pub suspected: IdSet,
+    /// The shared emission table: `messages[j]` is `m_{j,r}` if `p_j`
+    /// emitted this round. Access goes through the masking accessors.
+    messages: &'a [Option<M>],
+    /// `S(me, round)`: senders that emitted and are not suspected.
+    visible: IdSet,
 }
 
 impl<'a, M> Delivery<'a, M> {
+    /// Builds the round view for `me`: `messages[j]` is the message `p_j`
+    /// emitted this round (`None` if it did not emit, e.g. it crashed in a
+    /// simulator), and `suspected` is `D(me, round)`. Messages from
+    /// suspected senders are masked out of every accessor.
+    #[must_use]
+    pub fn new(round: Round, me: ProcessId, messages: &'a [Option<M>], suspected: IdSet) -> Self {
+        let mut visible = IdSet::empty();
+        for (j, m) in messages.iter().enumerate() {
+            let j = ProcessId::new(j);
+            if m.is_some() && !suspected.contains(j) {
+                visible.insert(j);
+            }
+        }
+        Delivery {
+            round,
+            me,
+            suspected,
+            messages,
+            visible,
+        }
+    }
+
+    /// The message of `p_j`, or `None` when `p_j` is suspected (or never
+    /// emitted). The borrow lives as long as the round's table, not this
+    /// view.
+    #[must_use]
+    pub fn get(&self, j: ProcessId) -> Option<&'a M> {
+        if self.visible.contains(j) {
+            self.messages[j.index()].as_ref()
+        } else {
+            None
+        }
+    }
+
     /// The set `S(i,r)` of processes whose message arrived.
     #[must_use]
     pub fn heard_from(&self) -> IdSet {
-        self.received
+        self.visible
+    }
+
+    /// The `(sender, message)` pairs that arrived, in identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, &'a M)> + '_ {
+        self.visible
             .iter()
-            .enumerate()
-            .filter(|(_, m)| m.is_some())
-            .map(|(j, _)| ProcessId::new(j))
-            .collect()
+            .filter_map(move |j| self.messages[j.index()].as_ref().map(|m| (j, m)))
+    }
+
+    /// The messages that arrived, in sender-identifier order.
+    pub fn values(&self) -> impl Iterator<Item = &'a M> + '_ {
+        self.iter().map(|(_, m)| m)
     }
 }
 
@@ -299,7 +349,7 @@ impl Engine {
         D: FaultDetector + ?Sized,
         Q: RrfdPredicate + ?Sized,
     {
-        self.run_traced(protocols, detector, model).0
+        self.run_inner(protocols, detector, model, None).0
     }
 
     /// Like [`Engine::run`], but also records a [`RunTrace`] of everything
@@ -308,7 +358,7 @@ impl Engine {
     /// detector, which is the debugging workflow for any failing run.
     pub fn run_traced<P, D, Q>(
         &self,
-        mut protocols: Vec<P>,
+        protocols: Vec<P>,
         detector: &mut D,
         model: &Q,
     ) -> (Result<RunReport<P::Output>, EngineError>, RunTrace)
@@ -318,26 +368,50 @@ impl Engine {
         Q: RrfdPredicate + ?Sized,
     {
         let mut trace = TraceBuilder::new(self.n);
+        let (result, outcome) = self.run_inner(protocols, detector, model, Some(&mut trace));
+        (result, trace.finish(outcome))
+    }
+
+    /// The shared round loop. With `trace` absent ([`Engine::run`]) no
+    /// trace bookkeeping runs at all — no heard-set vectors, no fault
+    /// clones — so the untraced path is the fast path.
+    fn run_inner<P, D, Q>(
+        &self,
+        mut protocols: Vec<P>,
+        detector: &mut D,
+        model: &Q,
+        mut trace: Option<&mut TraceBuilder>,
+    ) -> (Result<RunReport<P::Output>, EngineError>, TraceOutcome)
+    where
+        P: RoundProtocol,
+        D: FaultDetector + ?Sized,
+        Q: RrfdPredicate + ?Sized,
+    {
         if protocols.len() != self.n.get() {
             return (
                 Err(EngineError::WrongProcessCount {
                     supplied: protocols.len(),
                     expected: self.n.get(),
                 }),
-                trace.finish(TraceOutcome::Aborted),
+                TraceOutcome::Aborted,
             );
         }
 
         let n = self.n.get();
         let mut pattern = FaultPattern::new(self.n);
         let mut decisions: Vec<Option<(P::Output, Round)>> = vec![None; n];
+        // The round's emission table, reused across rounds so steady-state
+        // rounds are allocation-free. Every recipient borrows this one
+        // table through its `Delivery` view — no per-recipient clones.
+        let mut messages: Vec<Option<P::Msg>> = Vec::with_capacity(n);
 
         for round_no in 1..=self.max_rounds {
             let round = Round::new(round_no);
             let span = self.obs.round_enter(Labels::round(round_no));
 
-            // Emit phase.
-            let messages: Vec<P::Msg> = protocols.iter_mut().map(|p| p.emit(round)).collect();
+            // Emit phase: one message per emitter, shared by all recipients.
+            messages.clear();
+            messages.extend(protocols.iter_mut().map(|p| Some(p.emit(round))));
             self.obs
                 .add(names::ENGINE_ROUNDS, Labels::round(round_no), 1);
             self.obs.add(
@@ -353,37 +427,32 @@ impl Engine {
                     .add(names::ENGINE_VIOLATIONS, Labels::round(round_no), 1);
                 self.obs.round_exit(names::ENGINE_ROUND_LATENCY, span);
                 // Keep the offending round in the trace: it is the evidence.
-                trace.record_violating_round(faults);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record_violating_round(faults);
+                }
                 return (
                     Err(violation.clone().into()),
-                    trace.finish(TraceOutcome::Violation(violation)),
+                    TraceOutcome::Violation(violation),
                 );
             }
 
-            // Receive phase: p_i gets m_{j,r} iff j ∉ D(i,r).
-            let mut heard = Vec::with_capacity(n);
+            // Receive phase: p_i sees m_{j,r} iff j ∉ D(i,r), through a
+            // masked view of the shared table.
+            let mut heard: Option<Vec<IdSet>> = trace.is_some().then(|| Vec::with_capacity(n));
             for (i, protocol) in protocols.iter_mut().enumerate() {
                 let me = ProcessId::new(i);
                 let suspected = faults.of(me);
-                let received: Vec<Option<P::Msg>> = (0..n)
-                    .map(|j| {
-                        if suspected.contains(ProcessId::new(j)) {
-                            None
-                        } else {
-                            Some(messages[j].clone())
-                        }
-                    })
-                    .collect();
-                let heard_set = received
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, m)| m.is_some())
-                    .map(|(j, _)| ProcessId::new(j))
-                    .collect::<IdSet>();
+                let delivery = Delivery::new(round, me, &messages, suspected);
+                let heard_set = delivery.heard_from();
                 if self.obs.is_enabled() {
                     let labels = Labels::process_round(i, round_no);
                     self.obs.add(
                         names::ENGINE_MESSAGES_RECEIVED,
+                        labels,
+                        heard_set.len() as u64,
+                    );
+                    self.obs.add(
+                        names::ENGINE_DELIVERIES_SHARED,
                         labels,
                         heard_set.len() as u64,
                     );
@@ -392,19 +461,17 @@ impl Engine {
                     self.obs
                         .observe(names::ENGINE_SUSPICION_SIZE, labels, suspected.len() as u64);
                 }
-                heard.push(heard_set);
-                let verdict = protocol.deliver(Delivery {
-                    round,
-                    me,
-                    received: &received,
-                    suspected,
-                });
-                if let Control::Decide(value) = verdict {
+                if let Some(h) = heard.as_mut() {
+                    h.push(heard_set);
+                }
+                if let Control::Decide(value) = protocol.deliver(delivery) {
                     // First decision wins; later Decide outputs are ignored,
                     // matching "commit to outputs".
                     if decisions[i].is_none() {
                         decisions[i] = Some((value, round));
-                        trace.record_decision(me, round);
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.record_decision(me, round);
+                        }
                         self.obs.add(
                             names::ENGINE_DECISIONS,
                             Labels::process_round(i, round_no),
@@ -414,7 +481,9 @@ impl Engine {
                 }
             }
 
-            trace.record_round(faults.clone(), heard);
+            if let (Some(t), Some(h)) = (trace.as_deref_mut(), heard.take()) {
+                t.record_round(&faults, h);
+            }
             pattern.push(faults);
             self.obs.round_exit(names::ENGINE_ROUND_LATENCY, span);
 
@@ -425,9 +494,9 @@ impl Engine {
                         pattern,
                         rounds_executed: round_no,
                     }),
-                    trace.finish(TraceOutcome::Decided {
+                    TraceOutcome::Decided {
                         rounds_executed: round_no,
-                    }),
+                    },
                 );
             }
         }
@@ -436,9 +505,9 @@ impl Engine {
             Err(EngineError::RoundLimitExceeded {
                 max_rounds: self.max_rounds,
             }),
-            trace.finish(TraceOutcome::RoundLimit {
+            TraceOutcome::RoundLimit {
                 max_rounds: self.max_rounds,
-            }),
+            },
         )
     }
 }
@@ -534,22 +603,21 @@ mod tests {
             per_round: vec![r1],
         };
 
-        struct Observe;
+        struct Observe(SystemSize);
         impl RoundProtocol for Observe {
             type Msg = ();
             type Output = IdSet;
             fn emit(&mut self, _r: Round) {}
             fn deliver(&mut self, d: Delivery<'_, ()>) -> Control<IdSet> {
-                // Covering property: received ∪ suspected = S.
-                let n = SystemSize::new(d.received.len()).unwrap();
-                assert_eq!(d.heard_from().union(d.suspected), IdSet::universe(n));
+                // Covering property: heard ∪ suspected = S.
+                assert_eq!(d.heard_from().union(d.suspected), IdSet::universe(self.0));
                 Control::Decide(d.heard_from())
             }
         }
 
         let report = Engine::new(size)
             .run(
-                vec![Observe, Observe, Observe],
+                vec![Observe(size), Observe(size), Observe(size)],
                 &mut det,
                 &AnyPattern::new(size),
             )

@@ -15,6 +15,7 @@
 use crate::engine::{Control, Delivery, RoundProtocol};
 use crate::id::{ProcessId, Round, SystemSize};
 use crate::idset::IdSet;
+use std::sync::Arc;
 
 /// What one process knows: for each originator, the originator's input if
 /// it has been learned (directly or transitively).
@@ -33,6 +34,10 @@ use crate::idset::IdSet;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KnowledgeState<V> {
+    /// The originators whose input is recorded — kept alongside the dense
+    /// values so subset tests and merges are bitmap operations, not `O(n)`
+    /// `Option` walks.
+    known: IdSet,
     inputs: Vec<Option<V>>,
 }
 
@@ -41,6 +46,7 @@ impl<V: Clone + PartialEq> KnowledgeState<V> {
     #[must_use]
     pub fn empty(n: SystemSize) -> Self {
         KnowledgeState {
+            known: IdSet::empty(),
             inputs: vec![None; n.get()],
         }
     }
@@ -50,18 +56,14 @@ impl<V: Clone + PartialEq> KnowledgeState<V> {
     pub fn with_own_input(n: SystemSize, me: ProcessId, input: V) -> Self {
         let mut state = Self::empty(n);
         state.inputs[me.index()] = Some(input);
+        state.known.insert(me);
         state
     }
 
     /// The set of originators whose input is known.
     #[must_use]
     pub fn known(&self) -> IdSet {
-        self.inputs
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.is_some())
-            .map(|(i, _)| ProcessId::new(i))
-            .collect()
+        self.known
     }
 
     /// The input of `origin`, if known.
@@ -83,22 +85,33 @@ impl<V: Clone + PartialEq> KnowledgeState<V> {
                 *existing == input,
                 "conflicting inputs recorded for {origin}"
             ),
-            None => self.inputs[origin.index()] = Some(input),
+            None => {
+                self.inputs[origin.index()] = Some(input);
+                self.known.insert(origin);
+            }
         }
     }
 
-    /// Merges everything `other` knows into `self`.
+    /// Merges everything `other` knows into `self`: a bitmap difference
+    /// picks out the genuinely new originators and only their values are
+    /// copied, so merging an already-absorbed state is `O(1)`.
     ///
-    /// # Panics
-    ///
-    /// Panics on conflicting values for the same originator (see
-    /// [`KnowledgeState::learn`]).
+    /// In debug builds, overlapping originators are checked for the same
+    /// conflict [`KnowledgeState::learn`] panics on; release builds skip
+    /// the walk.
     pub fn merge(&mut self, other: &KnowledgeState<V>) {
-        for (i, v) in other.inputs.iter().enumerate() {
-            if let Some(v) = v {
-                self.learn(ProcessId::new(i), v.clone());
-            }
+        debug_assert!(
+            self.known
+                .intersection(other.known)
+                .iter()
+                .all(|j| self.inputs[j.index()] == other.inputs[j.index()]),
+            "conflicting inputs recorded for an overlapping originator"
+        );
+        let fresh = other.known.difference(self.known);
+        for j in fresh.iter() {
+            self.inputs[j.index()] = other.inputs[j.index()].clone();
         }
+        self.known = self.known.union(fresh);
     }
 
     /// The known `(origin, input)` pairs in identifier order.
@@ -112,9 +125,15 @@ impl<V: Clone + PartialEq> KnowledgeState<V> {
 
 /// A full-information [`RoundProtocol`]: relays its entire knowledge every
 /// round and decides its final [`KnowledgeState`] after `rounds` rounds.
+///
+/// The state is held behind an [`Arc`] and emitted by reference count, so
+/// an `O(n)` knowledge vector costs one pointer copy to broadcast. Deliver
+/// is copy-on-write: the state is deep-copied ([`Arc::make_mut`]) only in
+/// rounds where some received message actually adds knowledge — a
+/// quiesced full-information run stops allocating entirely.
 #[derive(Debug, Clone)]
 pub struct KnowledgeProtocol<V> {
-    state: KnowledgeState<V>,
+    state: Arc<KnowledgeState<V>>,
     rounds: u32,
 }
 
@@ -124,7 +143,7 @@ impl<V: Clone + PartialEq> KnowledgeProtocol<V> {
     #[must_use]
     pub fn new(n: SystemSize, me: ProcessId, input: V, rounds: u32) -> Self {
         KnowledgeProtocol {
-            state: KnowledgeState::with_own_input(n, me, input),
+            state: Arc::new(KnowledgeState::with_own_input(n, me, input)),
             rounds,
         }
     }
@@ -137,19 +156,30 @@ impl<V: Clone + PartialEq> KnowledgeProtocol<V> {
 }
 
 impl<V: Clone + PartialEq> RoundProtocol for KnowledgeProtocol<V> {
-    type Msg = KnowledgeState<V>;
+    type Msg = Arc<KnowledgeState<V>>;
     type Output = KnowledgeState<V>;
 
-    fn emit(&mut self, _round: Round) -> KnowledgeState<V> {
-        self.state.clone()
+    fn emit(&mut self, _round: Round) -> Arc<KnowledgeState<V>> {
+        Arc::clone(&self.state)
     }
 
-    fn deliver(&mut self, delivery: Delivery<'_, KnowledgeState<V>>) -> Control<KnowledgeState<V>> {
-        for msg in delivery.received.iter().flatten() {
-            self.state.merge(msg);
+    fn deliver(
+        &mut self,
+        delivery: Delivery<'_, Arc<KnowledgeState<V>>>,
+    ) -> Control<KnowledgeState<V>> {
+        // Copy-on-write: touch the state only if some message teaches us
+        // something — a bitmap subset test per sender, no value reads.
+        if delivery
+            .values()
+            .any(|m| !m.known().is_subset(self.state.known()))
+        {
+            let state = Arc::make_mut(&mut self.state);
+            for msg in delivery.values() {
+                state.merge(msg);
+            }
         }
         if delivery.round.get() >= self.rounds {
-            Control::Decide(self.state.clone())
+            Control::Decide((*self.state).clone())
         } else {
             Control::Continue
         }

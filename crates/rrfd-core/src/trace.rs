@@ -175,14 +175,19 @@ impl TraceBuilder {
     }
 
     /// Records a completed round: the adversary's sets plus what each
-    /// process heard.
+    /// process heard. Takes the faults by reference — the engines keep
+    /// ownership for their own pattern bookkeeping, and only a recording
+    /// run pays for the copy.
     ///
     /// # Panics
     ///
     /// Panics if `heard` is not one set per process.
-    pub fn record_round(&mut self, faults: RoundFaults, heard: Vec<IdSet>) {
+    pub fn record_round(&mut self, faults: &RoundFaults, heard: Vec<IdSet>) {
         assert_eq!(heard.len(), self.n.get(), "one S(i,r) per process required");
-        self.rounds.push(TraceRound { faults, heard });
+        self.rounds.push(TraceRound {
+            faults: faults.clone(),
+            heard,
+        });
     }
 
     /// Records a round the engine rejected before delivery: the offending
@@ -380,7 +385,7 @@ impl FromStr for RunTrace {
                     .take()
                     .ok_or_else(|| ParseTraceError::new(lno, "`s` line without `d` line"))?;
                 let heard = parse_set_line(rest, n, lno)?;
-                builder.record_round(faults, heard);
+                builder.record_round(&faults, heard);
             } else if let Some(rest) = line.strip_prefix("decisions") {
                 let ds: Vec<Option<Round>> = rest
                     .split_whitespace()
@@ -447,8 +452,8 @@ mod tests {
         let mut builder = TraceBuilder::new(size);
         let mut r1 = RoundFaults::none(size);
         r1.set(ProcessId::new(1), ids(&[2]));
-        builder.record_round(r1, vec![ids(&[0, 1, 2]), ids(&[0, 1]), ids(&[0, 1, 2])]);
-        builder.record_round(RoundFaults::none(size), vec![ids(&[0, 1, 2]); 3]);
+        builder.record_round(&r1, vec![ids(&[0, 1, 2]), ids(&[0, 1]), ids(&[0, 1, 2])]);
+        builder.record_round(&RoundFaults::none(size), vec![ids(&[0, 1, 2]); 3]);
         builder.record_decision(ProcessId::new(0), Round::new(1));
         builder.record_decision(ProcessId::new(1), Round::new(2));
         builder.record_decision(ProcessId::new(2), Round::new(2));

@@ -32,7 +32,7 @@ use rrfd_core::{FaultDetector, FaultPattern, Round, RoundFaults, RunTrace, Syste
 ///     type Output = u64;
 ///     fn emit(&mut self, _r: Round) -> u64 { self.0 }
 ///     fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
-///         Control::Decide(d.received.iter().flatten().copied().min().unwrap())
+///         Control::Decide(d.values().copied().min().unwrap())
 ///     }
 /// }
 ///
@@ -140,7 +140,7 @@ mod tests {
             self.me
         }
         fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
-            self.acc += d.received.iter().flatten().sum::<u64>();
+            self.acc += d.values().sum::<u64>();
             if d.round.get() >= 3 {
                 Control::Decide(self.acc)
             } else {

@@ -230,7 +230,7 @@ mod tests {
                 self.0
             }
             fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
-                Control::Decide(*d.received.iter().flatten().min().unwrap())
+                Control::Decide(*d.values().min().unwrap())
             }
         }
 

@@ -26,6 +26,14 @@ pub const ENGINE_DECISIONS: &str = "rrfd_engine_decisions_total";
 pub const ENGINE_ROUND_LATENCY: &str = "rrfd_engine_round_latency_ns";
 /// Counter: adversary violations caught by validation.
 pub const ENGINE_VIOLATIONS: &str = "rrfd_engine_violations_total";
+/// Counter: deliveries served from the round's shared emission table (no
+/// per-recipient payload clone), per `(process, round)`. On the zero-copy
+/// plane this equals messages received; a clone-plane engine records zero.
+pub const ENGINE_DELIVERIES_SHARED: &str = "rrfd_engine_deliveries_shared_total";
+/// Counter: message payload bytes deep-copied to build deliveries, per
+/// `(process, round)`. Zero on the shared plane; the clone-plane reference
+/// engine (rrfd-bench) records its per-recipient copies here.
+pub const ENGINE_MSG_BYTES_CLONED: &str = "rrfd_engine_msg_bytes_cloned_total";
 
 // -- rrfd-runtime::ThreadedEngine (coordinator + process threads) -----------
 

@@ -118,9 +118,7 @@ impl RoundProtocol for DiamondSConsensus {
                 // estimate it received (eq. 3 guarantees ≥ n − f arrive).
                 if coordinator == self.me {
                     let best = d
-                        .received
-                        .iter()
-                        .flatten()
+                        .values()
                         .filter_map(|m| match m {
                             PhaseMsg::Estimate(v, ts) => Some((*ts, *v)),
                             _ => None,
@@ -133,7 +131,7 @@ impl RoundProtocol for DiamondSConsensus {
             }
             1 => {
                 // Propose: adopt the coordinator's value if heard.
-                if let Some(PhaseMsg::Proposal(v)) = d.received[coordinator.index()] {
+                if let Some(&PhaseMsg::Proposal(v)) = d.get(coordinator) {
                     self.estimate = v;
                     self.timestamp = phase;
                     self.adopted = true;
@@ -143,9 +141,7 @@ impl RoundProtocol for DiamondSConsensus {
             _ => {
                 // Confirm: decide on a quorum of adopters.
                 let acks = d
-                    .received
-                    .iter()
-                    .flatten()
+                    .values()
                     .filter(|m| matches!(m, PhaseMsg::Ack(true)))
                     .count();
                 if !self.decided && self.adopted && acks >= self.n.get() - self.f {

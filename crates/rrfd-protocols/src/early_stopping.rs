@@ -63,7 +63,7 @@ impl RoundProtocol for EarlyStoppingConsensus {
     }
 
     fn deliver(&mut self, d: Delivery<'_, Value>) -> Control<Value> {
-        for v in d.received.iter().flatten() {
+        for v in d.values() {
             self.current_min = self.current_min.min(*v);
         }
         self.suspected_ever |= d.suspected;
@@ -191,28 +191,28 @@ mod tests {
         let mut p = EarlyStoppingConsensus::new(9, 3);
         let msgs: Vec<Option<Value>> = vec![Some(9), Some(5), Some(7), Some(8)];
         // Round 1 never decides under the stability rule (f > 0).
-        let verdict = p.deliver(Delivery {
-            round: Round::new(1),
-            me: ProcessId::new(0),
-            received: &msgs,
-            suspected: IdSet::empty(),
-        });
+        let verdict = p.deliver(Delivery::new(
+            Round::new(1),
+            ProcessId::new(0),
+            &msgs,
+            IdSet::empty(),
+        ));
         assert!(matches!(verdict, Control::Continue));
         // Round 2 is stable (no new suspicions): decide the minimum.
-        let verdict = p.deliver(Delivery {
-            round: Round::new(2),
-            me: ProcessId::new(0),
-            received: &msgs,
-            suspected: IdSet::empty(),
-        });
+        let verdict = p.deliver(Delivery::new(
+            Round::new(2),
+            ProcessId::new(0),
+            &msgs,
+            IdSet::empty(),
+        ));
         assert!(matches!(verdict, Control::Decide(5)));
         // Third delivery: already decided, must continue silently.
-        let verdict = p.deliver(Delivery {
-            round: Round::new(3),
-            me: ProcessId::new(0),
-            received: &msgs,
-            suspected: IdSet::empty(),
-        });
+        let verdict = p.deliver(Delivery::new(
+            Round::new(3),
+            ProcessId::new(0),
+            &msgs,
+            IdSet::empty(),
+        ));
         assert!(matches!(verdict, Control::Continue));
         assert_eq!(p.emit(Round::new(4)), 5, "keeps flooding its decision");
     }

@@ -61,7 +61,7 @@ impl RoundProtocol for FloodMin {
     }
 
     fn deliver(&mut self, d: Delivery<'_, Value>) -> Control<Value> {
-        for v in d.received.iter().flatten() {
+        for v in d.values() {
             self.current_min = self.current_min.min(*v);
         }
         if d.round.get() >= self.budget {

@@ -45,7 +45,7 @@ impl RoundProtocol for OneRoundKSet {
             .heard_from()
             .min()
             .expect("well-formedness guarantees D(i,r) ≠ S, so someone was heard");
-        let value = d.received[winner.index()].expect("winner was heard");
+        let value = *d.get(winner).expect("winner was heard");
         Control::Decide(value)
     }
 }

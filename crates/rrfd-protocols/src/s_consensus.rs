@@ -60,7 +60,7 @@ impl RoundProtocol for SRotatingConsensus {
 
     fn deliver(&mut self, d: Delivery<'_, Value>) -> Control<Value> {
         let coordinator = Self::coordinator(self.n, d.round);
-        if let Some(v) = d.received[coordinator.index()] {
+        if let Some(&v) = d.get(coordinator) {
             self.estimate = v;
         }
         if d.round.get() as usize >= self.n.get() {

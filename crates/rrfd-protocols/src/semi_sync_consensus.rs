@@ -22,6 +22,7 @@
 use rrfd_core::task::Value;
 use rrfd_core::{Control, IdSet, ProcessId, SystemSize};
 use rrfd_sims::semi_sync::SemiSyncProcess;
+use std::sync::Arc;
 
 /// A round-tagged broadcast of the 2-step primitive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,8 +70,8 @@ impl TwoStepConsensus {
         self.suspected
     }
 
-    fn absorb(&mut self, received: &[(ProcessId, RoundBroadcast)]) {
-        for &(_, msg) in received {
+    fn absorb(&mut self, received: &[(ProcessId, Arc<RoundBroadcast>)]) {
+        for (_, msg) in received {
             if msg.round == 1 {
                 self.received[msg.sender.index()] = Some(msg.value);
             }
@@ -93,7 +94,7 @@ impl SemiSyncProcess for TwoStepConsensus {
 
     fn step(
         &mut self,
-        received: &[(ProcessId, RoundBroadcast)],
+        received: &[(ProcessId, Arc<RoundBroadcast>)],
     ) -> (Option<RoundBroadcast>, Control<Value>) {
         self.absorb(received);
         self.step_in_round += 1;
@@ -166,9 +167,9 @@ impl RepeatedRounds {
         }
     }
 
-    fn absorb(&mut self, received: &[(ProcessId, RoundBroadcast)]) {
-        for &(_, msg) in received {
-            self.note(msg);
+    fn absorb(&mut self, received: &[(ProcessId, Arc<RoundBroadcast>)]) {
+        for (_, msg) in received {
+            self.note(**msg);
         }
         let pending = std::mem::take(&mut self.early);
         for msg in pending {
@@ -196,7 +197,7 @@ impl SemiSyncProcess for RepeatedRounds {
 
     fn step(
         &mut self,
-        received: &[(ProcessId, RoundBroadcast)],
+        received: &[(ProcessId, Arc<RoundBroadcast>)],
     ) -> (Option<RoundBroadcast>, Control<Value>) {
         self.absorb(received);
         self.step_in_round += 1;

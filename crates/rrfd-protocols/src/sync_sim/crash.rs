@@ -242,12 +242,9 @@ impl<P: RoundProtocol<Msg = Value>> CrashSim<P> {
         self.fault_log.push(suspected);
 
         let received = std::mem::replace(&mut self.resolved, vec![None; self.n.get()]);
-        let verdict = self.inner.deliver(Delivery {
-            round: self.round,
-            me: self.me,
-            received: &received,
-            suspected,
-        });
+        let verdict = self
+            .inner
+            .deliver(Delivery::new(self.round, self.me, &received, suspected));
 
         if let Control::Decide(decision) = verdict {
             self.phase = Phase::Finished;

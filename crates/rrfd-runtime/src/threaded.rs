@@ -45,7 +45,11 @@ struct Emission<M, O> {
 enum CoordReply<M> {
     Delivery {
         round: Round,
-        received: Vec<Option<M>>,
+        /// The round's emission table, shared by every recipient: the
+        /// coordinator allocates it once per round and sends `n` reference
+        /// counts instead of `n` cloned vectors. Workers read it through a
+        /// [`Delivery`] view that masks their suspected senders.
+        table: Arc<Vec<Option<M>>>,
         suspected: IdSet,
     },
     Stop,
@@ -205,7 +209,7 @@ const DEFAULT_GATHER_TIMEOUT: Duration = Duration::from_secs(5);
 ///     type Output = u32;
 ///     fn emit(&mut self, _r: Round) -> u32 { 7 }
 ///     fn deliver(&mut self, d: Delivery<'_, u32>) -> Control<u32> {
-///         Control::Decide(d.received.iter().flatten().sum())
+///         Control::Decide(d.values().sum())
 ///     }
 /// }
 ///
@@ -340,12 +344,12 @@ impl ThreadedEngine {
     ) -> Result<ThreadedReport<P::Output>, ThreadedError>
     where
         P: RoundProtocol + Send + 'static,
-        P::Msg: Send + 'static,
+        P::Msg: Send + Sync + 'static,
         P::Output: Send + Clone + 'static,
         D: FaultDetector + ?Sized,
         Q: RrfdPredicate + ?Sized,
     {
-        self.run_traced(protocols, detector, model).0
+        self.run_inner(protocols, detector, model, None).0
     }
 
     /// Like [`ThreadedEngine::run`], but also records a [`RunTrace`]: the
@@ -359,20 +363,44 @@ impl ThreadedEngine {
     ) -> (Result<ThreadedReport<P::Output>, ThreadedError>, RunTrace)
     where
         P: RoundProtocol + Send + 'static,
-        P::Msg: Send + 'static,
+        P::Msg: Send + Sync + 'static,
+        P::Output: Send + Clone + 'static,
+        D: FaultDetector + ?Sized,
+        Q: RrfdPredicate + ?Sized,
+    {
+        let mut trace = TraceBuilder::new(self.n);
+        let (result, outcome) = self.run_inner(protocols, detector, model, Some(&mut trace));
+        (result, trace.finish(outcome))
+    }
+
+    /// The shared run body. With `trace` absent ([`ThreadedEngine::run`])
+    /// the coordinator skips all trace bookkeeping — no heard-set vectors,
+    /// no per-round fault clones.
+    fn run_inner<P, D, Q>(
+        &self,
+        protocols: Vec<P>,
+        detector: &mut D,
+        model: &Q,
+        trace: Option<&mut TraceBuilder>,
+    ) -> (
+        Result<ThreadedReport<P::Output>, ThreadedError>,
+        TraceOutcome,
+    )
+    where
+        P: RoundProtocol + Send + 'static,
+        P::Msg: Send + Sync + 'static,
         P::Output: Send + Clone + 'static,
         D: FaultDetector + ?Sized,
         Q: RrfdPredicate + ?Sized,
     {
         let n = self.n.get();
-        let mut trace = TraceBuilder::new(self.n);
         if protocols.len() != n {
             let error = ThreadedError::WrongProcessCount {
                 supplied: protocols.len(),
                 expected: n,
             };
             self.record_error(&error);
-            return (Err(error), trace.finish(TraceOutcome::Aborted));
+            return (Err(error), TraceOutcome::Aborted);
         }
 
         let (emit_tx, emit_rx): EmissionChannel<P::Msg, P::Output> = channel::unbounded();
@@ -407,19 +435,16 @@ impl ThreadedEngine {
                     match reply_rx.recv() {
                         Ok(CoordReply::Delivery {
                             round: r,
-                            received,
+                            table,
                             suspected,
                         }) => {
                             debug_assert_eq!(r, round);
                             if let Some(sink) = &sink {
                                 sink.record(Actor::Process(me), RtEventKind::Receive { round: r });
                             }
-                            if let Control::Decide(v) = protocol.deliver(Delivery {
-                                round: r,
-                                me,
-                                received: &received,
-                                suspected,
-                            }) {
+                            if let Control::Decide(v) =
+                                protocol.deliver(Delivery::new(r, me, &table, suspected))
+                            {
                                 if let Some(sink) = &sink {
                                     sink.record(
                                         Actor::Process(me),
@@ -437,8 +462,7 @@ impl ThreadedEngine {
         }
         drop(emit_tx);
 
-        let (result, outcome) =
-            self.coordinate::<P>(&emit_rx, &reply_txs, detector, model, &mut trace);
+        let (result, outcome) = self.coordinate::<P>(&emit_rx, &reply_txs, detector, model, trace);
 
         // Stop every thread (ignore send failures: thread may be gone).
         for tx in &reply_txs {
@@ -463,7 +487,7 @@ impl ThreadedEngine {
             self.record_error(error);
         }
         self.clock.finish();
-        (result, trace.finish(outcome))
+        (result, outcome)
     }
 
     /// Runs the coordinator loop. Returns the run result plus the trace
@@ -475,7 +499,7 @@ impl ThreadedEngine {
         reply_txs: &[Sender<CoordReply<P::Msg>>],
         detector: &mut (impl FaultDetector + ?Sized),
         model: &(impl RrfdPredicate + ?Sized),
-        trace: &mut TraceBuilder,
+        mut trace: Option<&mut TraceBuilder>,
     ) -> (
         Result<ThreadedReport<P::Output>, ThreadedError>,
         TraceOutcome,
@@ -529,7 +553,9 @@ impl ThreadedEngine {
                     if decisions[emission.from.index()].is_none() {
                         let decided_at = Round::new(round_no - 1);
                         decisions[emission.from.index()] = Some((v, decided_at));
-                        trace.record_decision(emission.from, decided_at);
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.record_decision(emission.from, decided_at);
+                        }
                         self.record(RtEventKind::Access {
                             loc: "decisions".to_owned(),
                             write: true,
@@ -554,39 +580,40 @@ impl ThreadedEngine {
             self.record(RtEventKind::Detect { round });
             let faults = detector.next_round(round, &pattern);
             if let Err(violation) = validate_round(model, &pattern, &faults) {
-                trace.record_violating_round(faults);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record_violating_round(faults);
+                }
                 return (
                     Err(violation.clone().into()),
                     TraceOutcome::Violation(violation),
                 );
             }
 
-            let mut heard = Vec::with_capacity(n);
+            // One shared emission table for the whole round: `n` reference
+            // counts go out instead of `n` cloned vectors; each worker's
+            // `Delivery` view masks its own suspected senders.
+            let table = Arc::new(messages);
+            let mut heard: Option<Vec<IdSet>> = trace.is_some().then(|| Vec::with_capacity(n));
             for (i, reply_tx) in reply_txs.iter().enumerate() {
                 let me = ProcessId::new(i);
                 let suspected = faults.of(me);
-                let received: Vec<Option<P::Msg>> = (0..n)
-                    .map(|j| {
-                        if suspected.contains(ProcessId::new(j)) {
-                            None
-                        } else {
-                            messages[j].clone()
-                        }
-                    })
-                    .collect();
-                heard.push(
-                    received
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, m)| m.is_some())
-                        .map(|(j, _)| ProcessId::new(j))
-                        .collect::<IdSet>(),
-                );
+                if self.obs.is_enabled() {
+                    // Everyone emitted (the gather saw all n), so the
+                    // shared plane serves the full unsuspected set.
+                    self.obs.add(
+                        names::ENGINE_DELIVERIES_SHARED,
+                        Labels::process_round(i, round_no),
+                        suspected.complement(self.n).len() as u64,
+                    );
+                }
+                if let Some(h) = heard.as_mut() {
+                    h.push(suspected.complement(self.n));
+                }
                 self.record(RtEventKind::Deliver { to: me, round });
                 if reply_tx
                     .send(CoordReply::Delivery {
                         round,
-                        received,
+                        table: Arc::clone(&table),
                         suspected,
                     })
                     .is_err()
@@ -598,7 +625,9 @@ impl ThreadedEngine {
                 }
             }
 
-            trace.record_round(faults.clone(), heard);
+            if let (Some(t), Some(h)) = (trace.as_deref_mut(), heard.take()) {
+                t.record_round(&faults, h);
+            }
             self.record(RtEventKind::Access {
                 loc: "pattern".to_owned(),
                 write: true,
@@ -634,7 +663,9 @@ impl ThreadedEngine {
                 if decisions[emission.from.index()].is_none() {
                     let decided_at = Round::new(self.max_rounds);
                     decisions[emission.from.index()] = Some((v, decided_at));
-                    trace.record_decision(emission.from, decided_at);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record_decision(emission.from, decided_at);
+                    }
                     self.record(RtEventKind::Access {
                         loc: "decisions".to_owned(),
                         write: true,
@@ -690,7 +721,7 @@ mod tests {
             self.me
         }
         fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
-            self.acc += d.received.iter().flatten().sum::<u64>();
+            self.acc += d.values().sum::<u64>();
             if d.round.get() >= self.rounds {
                 Control::Decide(self.acc)
             } else {
@@ -735,7 +766,7 @@ mod tests {
             }
             fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
                 let winner = d.heard_from().min().expect("someone was heard");
-                Control::Decide(d.received[winner.index()].expect("winner heard"))
+                Control::Decide(*d.get(winner).expect("winner heard"))
             }
         }
 

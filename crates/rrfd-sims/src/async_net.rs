@@ -15,32 +15,52 @@
 use rrfd_core::{Control, IdSet, ProcessId, SystemSize};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// Staging area for outgoing messages during an event handler.
+///
+/// Payloads are reference-counted internally: a broadcast allocates the
+/// message once and enqueues `n` pointers, so fan-out costs no deep copies
+/// regardless of payload size.
 #[derive(Debug)]
 pub struct Outbox<M> {
     n: SystemSize,
-    sends: Vec<(ProcessId, M)>,
+    sends: Vec<(ProcessId, Arc<M>)>,
 }
 
 impl<M: Clone> Outbox<M> {
-    pub(crate) fn new(n: SystemSize) -> Self {
+    /// An empty outbox for a system of `n` processes. Public so custom
+    /// network loops (e.g. the clone-plane reference runner in the
+    /// message-plane equivalence suite) can drive [`AsyncProcess`]
+    /// handlers outside [`AsyncNetSim`].
+    #[must_use]
+    pub fn new(n: SystemSize) -> Self {
         Outbox {
             n,
             sends: Vec::new(),
         }
     }
 
+    /// Drains the staged `(recipient, payload)` pairs in send order.
+    /// Targeted sends hold the only reference; broadcast entries share
+    /// one payload.
+    #[must_use]
+    pub fn into_sends(self) -> Vec<(ProcessId, Arc<M>)> {
+        self.sends
+    }
+
     /// Sends `msg` to `to` (self-sends are allowed and delivered like any
     /// other message).
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.sends.push((to, msg));
+        self.sends.push((to, Arc::new(msg)));
     }
 
-    /// Sends `msg` to every process, self included.
+    /// Sends `msg` to every process, self included. The payload is
+    /// allocated once and shared across all `n` channel entries.
     pub fn broadcast(&mut self, msg: M) {
+        let shared = Arc::new(msg);
         for p in self.n.processes() {
-            self.sends.push((p, msg.clone()));
+            self.sends.push((p, Arc::clone(&shared)));
         }
     }
 }
@@ -248,8 +268,8 @@ impl AsyncNetSim {
             });
         }
 
-        // channels[from][to]: FIFO queue.
-        let mut channels: Vec<Vec<VecDeque<P::Msg>>> = (0..n)
+        // channels[from][to]: FIFO queue of shared payloads.
+        let mut channels: Vec<Vec<VecDeque<Arc<P::Msg>>>> = (0..n)
             .map(|_| (0..n).map(|_| VecDeque::new()).collect())
             .collect();
         let mut outputs: Vec<Option<P::Output>> = vec![None; n];
@@ -258,12 +278,13 @@ impl AsyncNetSim {
         let mut events = 0u64;
         let event_limit = self.max_deliveries.saturating_mul(4).saturating_add(1024);
 
-        let flush =
-            |out: Outbox<P::Msg>, from: ProcessId, channels: &mut Vec<Vec<VecDeque<P::Msg>>>| {
-                for (to, msg) in out.sends {
-                    channels[from.index()][to.index()].push_back(msg);
-                }
-            };
+        let flush = |out: Outbox<P::Msg>,
+                     from: ProcessId,
+                     channels: &mut Vec<Vec<VecDeque<Arc<P::Msg>>>>| {
+            for (to, msg) in out.sends {
+                channels[from.index()][to.index()].push_back(msg);
+            }
+        };
 
         for (i, proc_) in processes.iter_mut().enumerate() {
             let mut out = Outbox::new(self.n);
@@ -314,10 +335,14 @@ impl AsyncNetSim {
                     if crashed.contains(to) {
                         continue;
                     }
-                    let Some(msg) = channels[from.index()][to.index()].pop_front() else {
+                    let Some(entry) = channels[from.index()][to.index()].pop_front() else {
                         continue;
                     };
                     deliveries += 1;
+                    // The handler takes ownership; a broadcast payload is
+                    // deep-copied only here, at most once per recipient,
+                    // and the last recipient reclaims the allocation.
+                    let msg = Arc::try_unwrap(entry).unwrap_or_else(|shared| (*shared).clone());
                     let mut out = Outbox::new(self.n);
                     let verdict = processes[to.index()].on_message(deliveries, from, msg, &mut out);
                     flush(out, to, &mut channels);

@@ -102,12 +102,9 @@ impl<P: RoundProtocol> RoundedAsync<P> {
             self.fault_log.push(suspected);
 
             let received = std::mem::replace(&mut self.current, vec![None; self.n.get()]);
-            let verdict = self.inner.deliver(Delivery {
-                round: self.round,
-                me: self.me,
-                received: &received,
-                suspected,
-            });
+            let verdict = self
+                .inner
+                .deliver(Delivery::new(self.round, self.me, &received, suspected));
             if let Control::Decide(v) = verdict {
                 if !self.decided {
                     self.decided = true;

@@ -268,6 +268,15 @@ impl<T: StateDigest + ?Sized> StateDigest for &T {
     }
 }
 
+/// Digests through the pointer: two executions whose inboxes hold the same
+/// payload — whether Arc-shared or independently owned — encode
+/// identically, so the zero-copy message plane cannot perturb memoization.
+impl<T: StateDigest + ?Sized> StateDigest for std::sync::Arc<T> {
+    fn digest(&self, w: &mut DigestWriter) {
+        (**self).digest(w);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,6 +22,7 @@ use crate::digest::{DigestWriter, StateDigest};
 use rrfd_core::{Control, IdSet, ProcessId, SystemSize};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// A process in the semi-synchronous model: one atomic
 /// receive-all/broadcast step at a time.
@@ -34,9 +35,13 @@ pub trait SemiSyncProcess {
     /// Performs one atomic step: consumes everything buffered since the
     /// last step, optionally broadcasts, and possibly decides. Decided
     /// processes keep stepping (their later decisions are ignored).
+    ///
+    /// Messages arrive behind [`Arc`]s: a broadcast buffers one shared
+    /// payload in every inbox (`n` reference counts, one allocation), and
+    /// the step borrows it — the simulator never deep-copies a message.
     fn step(
         &mut self,
-        received: &[(ProcessId, Self::Msg)],
+        received: &[(ProcessId, Arc<Self::Msg>)],
     ) -> (Option<Self::Msg>, Control<Self::Output>);
 }
 
@@ -196,8 +201,11 @@ impl SemiSyncSim {
 #[derive(Debug)]
 pub struct SemiSyncExecution<P: SemiSyncProcess> {
     sim: SemiSyncSim,
-    // Per-process inbox of messages not yet consumed by a step.
-    inboxes: Vec<VecDeque<(ProcessId, P::Msg)>>,
+    // Per-process inbox of messages not yet consumed by a step. Entries
+    // are Arc-shared across inboxes, so cloning an execution at an
+    // exploration decision point bumps reference counts instead of
+    // deep-copying every buffered payload.
+    inboxes: Vec<VecDeque<(ProcessId, Arc<P::Msg>)>>,
     outputs: Vec<Option<(P::Output, u64)>>,
     step_counts: Vec<u64>,
     crashed: IdSet,
@@ -298,14 +306,16 @@ impl<P: SemiSyncProcess> SemiSyncExecution<P> {
                 }
                 self.total_steps += 1;
                 self.step_counts[p.index()] += 1;
-                let received: Vec<(ProcessId, P::Msg)> =
+                let received: Vec<(ProcessId, Arc<P::Msg>)> =
                     self.inboxes[p.index()].drain(..).collect();
                 let (broadcast, verdict) = self.processes[p.index()].step(&received);
-                if let Some(msg) = broadcast {
+                if let Some(broadcast) = broadcast {
                     // Synchronous communication: buffered everywhere at
-                    // once; consumed at each recipient's next step.
+                    // once; consumed at each recipient's next step. One
+                    // allocation, n reference counts.
+                    let shared = Arc::new(broadcast);
                     for inbox in &mut self.inboxes {
-                        inbox.push_back((p, msg.clone()));
+                        inbox.push_back((p, Arc::clone(&shared)));
                     }
                 }
                 if let Control::Decide(v) = verdict {
@@ -458,9 +468,9 @@ mod tests {
     impl SemiSyncProcess for Listen {
         type Msg = ();
         type Output = usize;
-        fn step(&mut self, received: &[(ProcessId, ())]) -> (Option<()>, Control<usize>) {
+        fn step(&mut self, received: &[(ProcessId, Arc<()>)]) -> (Option<()>, Control<usize>) {
             self.steps += 1;
-            for &(from, ()) in received {
+            for &(from, _) in received {
                 self.heard.insert(from);
             }
             let msg = if self.sent {

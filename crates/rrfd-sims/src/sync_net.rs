@@ -303,6 +303,10 @@ impl SyncNetSim {
 
         let mut outputs: Vec<Option<P::Output>> = vec![None; n];
         let mut pattern = FaultPattern::new(self.n);
+        // Round-scratch emission table, reused so steady-state rounds do
+        // not allocate; every live recipient borrows it through a masked
+        // `Delivery` view instead of receiving per-recipient clones.
+        let mut messages: Vec<Option<P::Msg>> = Vec::with_capacity(n);
 
         for round_no in 1..=self.max_rounds {
             let round = Round::new(round_no);
@@ -316,14 +320,11 @@ impl SyncNetSim {
                 silent
             };
 
-            let messages: Vec<Option<P::Msg>> = protocols
-                .iter_mut()
-                .enumerate()
-                .map(|(i, p)| {
-                    let id = ProcessId::new(i);
-                    (!silent.contains(id)).then(|| p.emit(round))
-                })
-                .collect();
+            messages.clear();
+            messages.extend(protocols.iter_mut().enumerate().map(|(i, p)| {
+                let id = ProcessId::new(i);
+                (!silent.contains(id)).then(|| p.emit(round))
+            }));
 
             let drops = faults.drops(round);
             debug_assert_eq!(drops.len(), n);
@@ -339,27 +340,19 @@ impl SyncNetSim {
                     round_faults.set(me, silent - IdSet::singleton(me));
                     continue;
                 }
-                let received: Vec<Option<P::Msg>> = (0..n)
-                    .map(|s| {
-                        let sender = ProcessId::new(s);
-                        if silent.contains(sender) || drops[s].contains(me) {
-                            None
-                        } else {
-                            messages[s].clone()
-                        }
-                    })
-                    .collect();
+                // A message is missed iff its sender was silent (so never
+                // emitted into the shared table) or the injector dropped
+                // the send to `me` — the same set the per-recipient clone
+                // plane produced, computed without materialising it.
                 let suspected: IdSet = (0..n)
-                    .filter(|&s| received[s].is_none())
+                    .filter(|&s| {
+                        let sender = ProcessId::new(s);
+                        silent.contains(sender) || drops[s].contains(me)
+                    })
                     .map(ProcessId::new)
                     .collect();
                 round_faults.set(me, suspected);
-                let verdict = protocols[i].deliver(Delivery {
-                    round,
-                    me,
-                    received: &received,
-                    suspected,
-                });
+                let verdict = protocols[i].deliver(Delivery::new(round, me, &messages, suspected));
                 if let Control::Decide(v) = verdict {
                     outputs[i].get_or_insert(v);
                 }

@@ -470,9 +470,12 @@ mod tests {
         impl SemiSyncProcess for Listen {
             type Msg = ();
             type Output = usize;
-            fn step(&mut self, received: &[(ProcessId, ())]) -> (Option<()>, Control<usize>) {
+            fn step(
+                &mut self,
+                received: &[(ProcessId, std::sync::Arc<()>)],
+            ) -> (Option<()>, Control<usize>) {
                 self.steps += 1;
-                for &(from, ()) in received {
+                for &(from, _) in received {
                     self.heard.insert(from);
                 }
                 let msg = (!self.sent).then(|| self.sent = true);

@@ -25,7 +25,7 @@ impl RoundProtocol for OneRound {
 
     fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
         let winner = d.heard_from().min().expect("someone is always heard");
-        Control::Decide(d.received[winner.index()].expect("winner was heard"))
+        Control::Decide(*d.get(winner).expect("winner was heard"))
     }
 }
 

@@ -213,9 +213,12 @@ struct Hearer {
 impl SemiSyncProcess for Hearer {
     type Msg = ();
     type Output = usize;
-    fn step(&mut self, received: &[(ProcessId, ())]) -> (Option<()>, rrfd::core::Control<usize>) {
+    fn step(
+        &mut self,
+        received: &[(ProcessId, std::sync::Arc<()>)],
+    ) -> (Option<()>, rrfd::core::Control<usize>) {
         self.steps += 1;
-        for &(from, ()) in received {
+        for &(from, _) in received {
             self.heard.insert(from);
         }
         let msg = (!self.sent).then(|| self.sent = true);

@@ -28,7 +28,7 @@ impl RoundProtocol for SumUntil {
         self.me
     }
     fn deliver(&mut self, d: Delivery<'_, u64>) -> Control<u64> {
-        self.acc += d.received.iter().flatten().sum::<u64>();
+        self.acc += d.values().sum::<u64>();
         if d.round.get() >= self.rounds {
             Control::Decide(self.acc)
         } else {
