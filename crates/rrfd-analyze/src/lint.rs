@@ -305,12 +305,14 @@ const DETERMINISTIC_CRATES: &[&str] = &["rrfd-core", "rrfd-models", "rrfd-sims",
 /// Crates whose timing must flow through `rrfd_obs::Clock` rather than
 /// reading the wall clock directly — otherwise metric snapshots stop
 /// being reproducible under the logical clock.
-const INSTRUMENTED_CRATES: &[&str] = &["rrfd-runtime", "rrfd-obs"];
+const INSTRUMENTED_CRATES: &[&str] = &["rrfd-runtime", "rrfd-obs", "rrfd-engine-pool"];
 
 /// Crates carrying the zero-copy message plane: deliveries borrow a
 /// shared emission table (or hold `Arc`s), so payload clones in delivery
-/// loops are regressions, not style.
-const MESSAGE_PLANE_CRATES: &[&str] = &["rrfd-core", "rrfd-runtime", "rrfd-sims"];
+/// loops are regressions, not style. The batch pool is fenced too: its
+/// whole slab/buffer lifecycle exists to avoid per-instance copies.
+const MESSAGE_PLANE_CRATES: &[&str] =
+    &["rrfd-core", "rrfd-runtime", "rrfd-sims", "rrfd-engine-pool"];
 
 /// Scans one file's text, appending findings. Exposed for testing the
 /// scanner on synthetic sources.

@@ -16,8 +16,11 @@
 //! the sharded recorder — the "disabled instrumentation is free" claim as
 //! a number.
 
-use rrfd_bench::{ClonePlaneEngine, FullInfoFlood};
+use rrfd_bench::{
+    measure_throughput, quantile, render_throughput_line, ClonePlaneEngine, FullInfoFlood,
+};
 use rrfd_core::{AnyPattern, Engine, SystemSize};
+use rrfd_engine_pool::MixSpec;
 use rrfd_models::adversary::{NoFailures, RandomAdversary, SilencingCrash, StaggeredCrash};
 use rrfd_models::predicates::{Crash, DetectorS, KUncertainty};
 use rrfd_obs::{json, Obs};
@@ -192,15 +195,6 @@ fn time_samples(samples: usize, run: impl Fn()) -> Vec<u64> {
         .collect();
     times.sort_unstable();
     times
-}
-
-/// The `q`-quantile of an ascending-sorted sample by nearest-rank.
-fn quantile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// The explorer head-to-head workload: an id-symmetric snapshot protocol
@@ -419,6 +413,13 @@ fn run_report(quick: bool) -> String {
     eprintln!("measuring message-plane ablation ({samples} samples per cell)...");
     let msg_plane = measure_msg_plane(samples);
 
+    // Batch throughput: the sharded pool against the sequential loop on
+    // the default tenant mix. `serve` re-measures this section at
+    // arbitrary scale and splices it back in.
+    let (tp_instances, tp_shards) = if quick { (2_000, 4) } else { (10_000, 4) };
+    eprintln!("measuring batch throughput ({tp_instances} instances, {tp_shards} shards)...");
+    let throughput = measure_throughput(&MixSpec::default_mix(), tp_instances, tp_shards, SEED);
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"format\": \"{FORMAT}\",\n"));
@@ -451,6 +452,8 @@ fn run_report(quick: bool) -> String {
          \"speedup_x100\": {}}},\n",
         explore.sequential_ns, explore.parallel_ns, explore.workers, explore.speedup_x100,
     ));
+    out.push_str(&render_throughput_line(&throughput));
+    out.push('\n');
     out.push_str("  \"msg_plane\": [\n");
     for (i, row) in msg_plane.iter().enumerate() {
         out.push_str(&format!(
@@ -527,6 +530,30 @@ fn check_schema(text: &str) -> Result<(), String> {
             .get(field)
             .and_then(json::Json::as_u64)
             .ok_or_else(|| format!("explore: missing integer `{field}`"))?;
+    }
+    let throughput = root
+        .get("throughput")
+        .ok_or("missing object `throughput`")?;
+    throughput
+        .get("mix")
+        .and_then(json::Json::as_str)
+        .ok_or("throughput: missing string `mix`")?;
+    for field in [
+        "instances",
+        "shards",
+        "completed",
+        "errored",
+        "rounds",
+        "batch_ns",
+        "sequential_ns",
+        "instances_per_sec",
+        "p99_round_ns",
+        "speedup_x100",
+    ] {
+        throughput
+            .get(field)
+            .and_then(json::Json::as_u64)
+            .ok_or_else(|| format!("throughput: missing integer `{field}`"))?;
     }
     let msg_plane = root
         .get("msg_plane")

@@ -1,0 +1,141 @@
+//! The batch-throughput CLI: drive the multi-tenant pool at scale and
+//! publish the numbers.
+//!
+//! ```text
+//! cargo run -p rrfd-bench --bin serve --release -- \
+//!     [--instances N] [--shards S] [--mix SPEC] [--quick] [--out PATH]
+//! ```
+//!
+//! Runs `N` protocol instances of the weighted `--mix` (default: the
+//! five-class tenant mix of `MixSpec::DEFAULT_SPEC`) through the sharded
+//! batch pool and through the naive sequential loop, then reports
+//! instances/sec, p99 per-round step latency (from the pool's
+//! `rrfd_pool_round_latency_ns` histogram), and the speedup. When the
+//! `--out` report file (default `BENCH_rrfd.json`) exists, its
+//! `throughput` section is replaced with this measurement and the result
+//! is re-validated against the `rrfd-bench v1` schema reader; a missing
+//! file is a warning, not an error, so `serve` is usable standalone.
+//!
+//! `--quick` shrinks the default instance count for CI smoke runs.
+
+use rrfd_bench::{measure_throughput, render_throughput_line, splice_throughput};
+use rrfd_engine_pool::MixSpec;
+use rrfd_obs::json;
+use std::process::ExitCode;
+
+const SEED: u64 = 0x5EED_CAFE_F00D_0002;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let take_flag = |args: &mut Vec<String>, flag: &str| match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    let take_value = |args: &mut Vec<String>, flag: &str| match args.iter().position(|a| a == flag)
+    {
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            Some(args.remove(i))
+        }
+        Some(_) => Some(String::new()),
+        None => None,
+    };
+
+    let quick = take_flag(&mut args, "--quick");
+    let instances = take_value(&mut args, "--instances");
+    let shards = take_value(&mut args, "--shards");
+    let mix_spec = take_value(&mut args, "--mix");
+    let out = take_value(&mut args, "--out").unwrap_or_else(|| "BENCH_rrfd.json".to_owned());
+    if let Some(extra) = args.first() {
+        eprintln!("unexpected argument {extra:?}");
+        eprintln!("usage: serve [--instances N] [--shards S] [--mix SPEC] [--quick] [--out PATH]");
+        return ExitCode::from(2);
+    }
+
+    let instances: u64 = match instances {
+        Some(v) => match v.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--instances needs a positive integer, got {v:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            if quick {
+                2_000
+            } else {
+                10_000
+            }
+        }
+    };
+    let shards: usize = match shards {
+        Some(v) => match v.parse() {
+            Ok(s) if s > 0 => s,
+            _ => {
+                eprintln!("--shards needs a positive integer, got {v:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => 4,
+    };
+    let mix = match mix_spec {
+        Some(spec) => match MixSpec::parse(&spec) {
+            Ok(mix) => mix,
+            Err(e) => {
+                eprintln!("--mix {spec:?}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => MixSpec::default_mix(),
+    };
+
+    eprintln!("serving {instances} instances of `{mix}` on {shards} shards...");
+    let row = measure_throughput(&mix, instances, shards, SEED);
+
+    let per_sec = row.instances_per_sec;
+    let speedup = row.speedup_x100;
+    println!("instances      {}", row.instances);
+    println!("  completed    {}", row.completed);
+    println!("  errored      {}", row.errored);
+    println!("rounds         {}", row.rounds);
+    println!("shards         {}", row.shards);
+    println!("batch          {} ms", row.batch_ns / 1_000_000);
+    println!("sequential     {} ms", row.sequential_ns / 1_000_000);
+    println!("instances/sec  {per_sec}");
+    println!("p99 round      {} ns", row.p99_round_ns);
+    println!(
+        "speedup        {}.{:02}x over the sequential loop",
+        speedup / 100,
+        speedup % 100
+    );
+
+    // Publish: splice the section into the existing report and
+    // re-validate, leaving the file untouched on any failure.
+    let text = match std::fs::read_to_string(&out) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("note: not updating {out} ({e}); printed results only");
+            return ExitCode::SUCCESS;
+        }
+    };
+    let updated = match splice_throughput(&text, &render_throughput_line(&row)) {
+        Ok(updated) => updated,
+        Err(e) => {
+            eprintln!("{out}: cannot splice throughput section: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = json::parse(&updated) {
+        eprintln!("{out}: spliced report is not valid JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &updated) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("updated `throughput` section of {out}");
+    ExitCode::SUCCESS
+}

@@ -7,7 +7,17 @@
 //! Also home of [`ClonePlaneEngine`], the seed-faithful per-recipient-clone
 //! round engine kept as the ablation baseline for the zero-copy message
 //! plane (and as the reference semantics the differential equivalence
-//! tests compare against).
+//! tests compare against); of [`stats`], the one quantile definition all
+//! bench binaries share; and of [`throughput`], the batch-throughput
+//! harness behind `--bin serve` and the report's `throughput` section.
+
+pub mod stats;
+pub mod throughput;
+
+pub use stats::quantile;
+pub use throughput::{
+    measure_throughput, render_throughput_line, splice_throughput, ThroughputRow,
+};
 
 use rrfd_core::{validate_round, IdSet};
 use rrfd_core::{

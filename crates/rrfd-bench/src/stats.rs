@@ -1,0 +1,74 @@
+//! Sample statistics shared by the bench binaries.
+//!
+//! One function, one definition: every quantile the workspace reports
+//! (experiment medians, p95s, the throughput harness's p99) flows
+//! through [`quantile`], so a fix here fixes every report at once.
+
+/// The `q`-quantile of an ascending-sorted sample by **ceiling
+/// nearest-rank**: the smallest element `x` such that at least `q·N` of
+/// the sample is `≤ x`, i.e. `sorted[⌈q·N⌉ - 1]` (rank clamped to
+/// `[1, N]`). Returns `0` for an empty sample.
+///
+/// The ceiling rank is the textbook nearest-rank estimator. The previous
+/// implementation rounded `q·(N-1)` to the *nearest* index, which
+/// over-reports low quantiles (for `1..=10` it called `6` the median —
+/// 60% of the sample is `≤ 6`) and, at high `q` on small `N`, could pick
+/// an element below the requested coverage. See the pinned tests.
+#[must_use]
+pub fn quantile(sorted: &[u64], q: f64) -> u64 {
+    let len = sorted.len();
+    if len == 0 {
+        return 0;
+    }
+    let rank = (q * len as f64).ceil() as usize;
+    // `rank` is 1-based; clamp covers q <= 0 (rank 0) and q >= 1 or
+    // float overshoot (rank > N).
+    match sorted.get(rank.clamp(1, len) - 1) {
+        Some(&value) => value,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::quantile;
+
+    #[test]
+    fn quantiles_pinned_on_1_to_10() {
+        let v: Vec<u64> = (1..=10).collect();
+        // ceil(0.5 * 10) = 5 → 5. (The old round-based rank said 6.)
+        assert_eq!(quantile(&v, 0.5), 5);
+        // ceil(0.95 * 10) = 10 → 10. (The old rank said 9: only 90% of
+        // the sample was ≤ the reported "p95".)
+        assert_eq!(quantile(&v, 0.95), 10);
+        assert_eq!(quantile(&v, 0.99), 10);
+        assert_eq!(quantile(&v, 0.0), 1);
+        assert_eq!(quantile(&v, 1.0), 10);
+    }
+
+    #[test]
+    fn quantiles_pinned_on_1_to_20() {
+        let v: Vec<u64> = (1..=20).collect();
+        assert_eq!(quantile(&v, 0.5), 10);
+        assert_eq!(quantile(&v, 0.95), 19);
+        assert_eq!(quantile(&v, 0.99), 20);
+    }
+
+    #[test]
+    fn quantiles_pinned_on_1_to_100() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&v, 0.5), 50);
+        assert_eq!(quantile(&v, 0.95), 95);
+        assert_eq!(quantile(&v, 0.99), 99);
+        assert_eq!(quantile(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.5), 7);
+        assert_eq!(quantile(&[7], 0.99), 7);
+        assert_eq!(quantile(&[3, 9], 0.5), 3);
+        assert_eq!(quantile(&[3, 9], 0.51), 9);
+    }
+}

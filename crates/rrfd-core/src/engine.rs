@@ -162,7 +162,7 @@ pub trait RoundProtocol {
 }
 
 /// The outcome of [`Engine::run`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport<O> {
     /// `decisions[i]` is `Some` once `p_i` decided, with the round at which
     /// it did.
@@ -349,7 +349,9 @@ impl Engine {
         D: FaultDetector + ?Sized,
         Q: RrfdPredicate + ?Sized,
     {
-        self.run_inner(protocols, detector, model, None).0
+        self.start(protocols, detector, model)?
+            .run_to_completion()
+            .result
     }
 
     /// Like [`Engine::run`], but also records a [`RunTrace`] of everything
@@ -367,148 +369,363 @@ impl Engine {
         D: FaultDetector + ?Sized,
         Q: RrfdPredicate + ?Sized,
     {
-        let mut trace = TraceBuilder::new(self.n);
-        let (result, outcome) = self.run_inner(protocols, detector, model, Some(&mut trace));
-        (result, trace.finish(outcome))
+        match self.start_traced(protocols, detector, model) {
+            Ok(run) => {
+                let finished = run.run_to_completion();
+                let trace = match finished.trace {
+                    Some(trace) => trace,
+                    // Unreachable (start_traced always arms the builder),
+                    // but kept total: an absent trace reads as aborted.
+                    None => TraceBuilder::new(self.n).finish(TraceOutcome::Aborted),
+                };
+                (finished.result, trace)
+            }
+            Err(err) => (
+                Err(err),
+                TraceBuilder::new(self.n).finish(TraceOutcome::Aborted),
+            ),
+        }
     }
 
-    /// The shared round loop. With `trace` absent ([`Engine::run`]) no
-    /// trace bookkeeping runs at all — no heard-set vectors, no fault
-    /// clones — so the untraced path is the fast path.
-    fn run_inner<P, D, Q>(
+    /// Starts a resumable run: the returned [`EngineRun`] executes one
+    /// round per [`EngineRun::step`] call instead of running to
+    /// completion. This is the multiplexing seam the batch execution pool
+    /// is built on — one OS thread can round-robin thousands of
+    /// independent `EngineRun`s, each stepping a round at a time.
+    ///
+    /// Unlike [`Engine::run`], the run owns its detector and model (use
+    /// `&mut D` / `&Q` via the blanket impls to borrow instead).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::WrongProcessCount`] if `protocols.len() != n`. All
+    /// other errors surface through stepping.
+    pub fn start<P, D, Q>(
         &self,
-        mut protocols: Vec<P>,
-        detector: &mut D,
-        model: &Q,
-        mut trace: Option<&mut TraceBuilder>,
-    ) -> (Result<RunReport<P::Output>, EngineError>, TraceOutcome)
+        protocols: Vec<P>,
+        detector: D,
+        model: Q,
+    ) -> Result<EngineRun<P, D, Q>, EngineError>
     where
         P: RoundProtocol,
-        D: FaultDetector + ?Sized,
-        Q: RrfdPredicate + ?Sized,
+        D: FaultDetector,
+        Q: RrfdPredicate,
+    {
+        self.start_with(protocols, detector, model, false, Vec::new())
+    }
+
+    /// [`Engine::start`] with trace capture armed: the finished run's
+    /// [`FinishedRun::trace`] is `Some`, byte-identical to what
+    /// [`Engine::run_traced`] would have produced.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::start`].
+    pub fn start_traced<P, D, Q>(
+        &self,
+        protocols: Vec<P>,
+        detector: D,
+        model: Q,
+    ) -> Result<EngineRun<P, D, Q>, EngineError>
+    where
+        P: RoundProtocol,
+        D: FaultDetector,
+        Q: RrfdPredicate,
+    {
+        self.start_with(protocols, detector, model, true, Vec::new())
+    }
+
+    /// [`Engine::start`] reusing a retired run's emission-table buffer
+    /// (see [`FinishedRun::buffer`]): the new run's steady-state rounds
+    /// then allocate nothing even on their first round. This is the slab
+    /// lifecycle the batch pool's shards use to keep instance turnover
+    /// allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::start`].
+    pub fn start_with_buffer<P, D, Q>(
+        &self,
+        protocols: Vec<P>,
+        detector: D,
+        model: Q,
+        buffer: Vec<Option<P::Msg>>,
+    ) -> Result<EngineRun<P, D, Q>, EngineError>
+    where
+        P: RoundProtocol,
+        D: FaultDetector,
+        Q: RrfdPredicate,
+    {
+        self.start_with(protocols, detector, model, false, buffer)
+    }
+
+    fn start_with<P, D, Q>(
+        &self,
+        protocols: Vec<P>,
+        detector: D,
+        model: Q,
+        traced: bool,
+        mut buffer: Vec<Option<P::Msg>>,
+    ) -> Result<EngineRun<P, D, Q>, EngineError>
+    where
+        P: RoundProtocol,
+        D: FaultDetector,
+        Q: RrfdPredicate,
     {
         if protocols.len() != self.n.get() {
-            return (
-                Err(EngineError::WrongProcessCount {
-                    supplied: protocols.len(),
-                    expected: self.n.get(),
+            return Err(EngineError::WrongProcessCount {
+                supplied: protocols.len(),
+                expected: self.n.get(),
+            });
+        }
+        let n = self.n.get();
+        buffer.clear();
+        buffer.reserve(n);
+        Ok(EngineRun {
+            n: self.n,
+            max_rounds: self.max_rounds,
+            obs: self.obs.clone(),
+            protocols,
+            detector,
+            model,
+            pattern: FaultPattern::new(self.n),
+            decisions: vec![None; n],
+            messages: buffer,
+            next_round: 1,
+            trace: traced.then(|| TraceBuilder::new(self.n)),
+            finished_trace: None,
+            done: None,
+        })
+    }
+}
+
+/// What one [`EngineRun::step`] call reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineStep {
+    /// A round executed and the run can continue: not every process has
+    /// decided and no terminal condition was hit.
+    Running,
+    /// The run is terminal — all processes decided, the adversary violated
+    /// the model, or the round limit elapsed. Stepping again is a no-op
+    /// that reports `Finished` again; collect the result with
+    /// [`EngineRun::run_to_completion`].
+    Finished,
+}
+
+/// A finished [`EngineRun`], dismantled into its products.
+#[derive(Debug)]
+pub struct FinishedRun<O: Clone, M> {
+    /// The run's outcome, exactly as [`Engine::run`] would report it.
+    pub result: Result<RunReport<O>, EngineError>,
+    /// The captured trace when the run was started with
+    /// [`Engine::start_traced`]; `None` otherwise.
+    pub trace: Option<RunTrace>,
+    /// The run's emission-table buffer, cleared, for reuse via
+    /// [`Engine::start_with_buffer`].
+    pub buffer: Vec<Option<M>>,
+}
+
+/// A resumable run: [`Engine::start`]'s handle, executing one round per
+/// [`EngineRun::step`] call.
+///
+/// The round semantics are *the* engine semantics — [`Engine::run`] and
+/// [`Engine::run_traced`] are thin loops over this type — so a run stepped
+/// to completion is decision- and trace-identical to a `run` call with the
+/// same inputs (the batch pool's differential suite pins this).
+#[derive(Debug)]
+pub struct EngineRun<P: RoundProtocol, D, Q> {
+    n: SystemSize,
+    max_rounds: u32,
+    obs: Obs,
+    protocols: Vec<P>,
+    detector: D,
+    model: Q,
+    pattern: FaultPattern,
+    decisions: Vec<Option<(P::Output, Round)>>,
+    // The round's emission table, reused across rounds so steady-state
+    // rounds are allocation-free. Every recipient borrows this one table
+    // through its `Delivery` view — no per-recipient clones.
+    messages: Vec<Option<P::Msg>>,
+    next_round: u32,
+    trace: Option<TraceBuilder>,
+    finished_trace: Option<RunTrace>,
+    done: Option<Result<RunReport<P::Output>, EngineError>>,
+}
+
+impl<P, D, Q> EngineRun<P, D, Q>
+where
+    P: RoundProtocol,
+    D: FaultDetector,
+    Q: RrfdPredicate,
+{
+    /// The system size of the run.
+    #[must_use]
+    pub fn system_size(&self) -> SystemSize {
+        self.n
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn rounds_executed(&self) -> u32 {
+        self.next_round - 1
+    }
+
+    /// `true` once the run hit a terminal state.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.done.is_some()
+    }
+
+    /// Executes one round (emit → detect/validate → deliver), or reports
+    /// [`EngineStep::Finished`] without executing anything when the run is
+    /// already terminal.
+    pub fn step(&mut self) -> EngineStep {
+        if self.done.is_some() {
+            return EngineStep::Finished;
+        }
+        let round_no = self.next_round;
+        if round_no > self.max_rounds {
+            self.finish(
+                Err(EngineError::RoundLimitExceeded {
+                    max_rounds: self.max_rounds,
                 }),
-                TraceOutcome::Aborted,
+                TraceOutcome::RoundLimit {
+                    max_rounds: self.max_rounds,
+                },
             );
+            return EngineStep::Finished;
         }
 
         let n = self.n.get();
-        let mut pattern = FaultPattern::new(self.n);
-        let mut decisions: Vec<Option<(P::Output, Round)>> = vec![None; n];
-        // The round's emission table, reused across rounds so steady-state
-        // rounds are allocation-free. Every recipient borrows this one
-        // table through its `Delivery` view — no per-recipient clones.
-        let mut messages: Vec<Option<P::Msg>> = Vec::with_capacity(n);
+        let round = Round::new(round_no);
+        let span = self.obs.round_enter(Labels::round(round_no));
 
-        for round_no in 1..=self.max_rounds {
-            let round = Round::new(round_no);
-            let span = self.obs.round_enter(Labels::round(round_no));
+        // Emit phase: one message per emitter, shared by all recipients.
+        self.messages.clear();
+        self.messages
+            .extend(self.protocols.iter_mut().map(|p| Some(p.emit(round))));
+        self.obs
+            .add(names::ENGINE_ROUNDS, Labels::round(round_no), 1);
+        self.obs.add(
+            names::ENGINE_MESSAGES_EMITTED,
+            Labels::round(round_no),
+            n as u64,
+        );
 
-            // Emit phase: one message per emitter, shared by all recipients.
-            messages.clear();
-            messages.extend(protocols.iter_mut().map(|p| Some(p.emit(round))));
+        // The detector chooses and the engine validates D(·, r).
+        let faults = self.detector.next_round(round, &self.pattern);
+        if let Err(violation) = validate_round(&self.model, &self.pattern, &faults) {
             self.obs
-                .add(names::ENGINE_ROUNDS, Labels::round(round_no), 1);
-            self.obs.add(
-                names::ENGINE_MESSAGES_EMITTED,
-                Labels::round(round_no),
-                n as u64,
-            );
-
-            // The detector chooses and the engine validates D(·, r).
-            let faults = detector.next_round(round, &pattern);
-            if let Err(violation) = validate_round(model, &pattern, &faults) {
-                self.obs
-                    .add(names::ENGINE_VIOLATIONS, Labels::round(round_no), 1);
-                self.obs.round_exit(names::ENGINE_ROUND_LATENCY, span);
-                // Keep the offending round in the trace: it is the evidence.
-                if let Some(t) = trace.as_deref_mut() {
-                    t.record_violating_round(faults);
-                }
-                return (
-                    Err(violation.clone().into()),
-                    TraceOutcome::Violation(violation),
-                );
-            }
-
-            // Receive phase: p_i sees m_{j,r} iff j ∉ D(i,r), through a
-            // masked view of the shared table.
-            let mut heard: Option<Vec<IdSet>> = trace.is_some().then(|| Vec::with_capacity(n));
-            for (i, protocol) in protocols.iter_mut().enumerate() {
-                let me = ProcessId::new(i);
-                let suspected = faults.of(me);
-                let delivery = Delivery::new(round, me, &messages, suspected);
-                let heard_set = delivery.heard_from();
-                if self.obs.is_enabled() {
-                    let labels = Labels::process_round(i, round_no);
-                    self.obs.add(
-                        names::ENGINE_MESSAGES_RECEIVED,
-                        labels,
-                        heard_set.len() as u64,
-                    );
-                    self.obs.add(
-                        names::ENGINE_DELIVERIES_SHARED,
-                        labels,
-                        heard_set.len() as u64,
-                    );
-                    self.obs
-                        .observe(names::ENGINE_HEARD_SIZE, labels, heard_set.len() as u64);
-                    self.obs
-                        .observe(names::ENGINE_SUSPICION_SIZE, labels, suspected.len() as u64);
-                }
-                if let Some(h) = heard.as_mut() {
-                    h.push(heard_set);
-                }
-                if let Control::Decide(value) = protocol.deliver(delivery) {
-                    // First decision wins; later Decide outputs are ignored,
-                    // matching "commit to outputs".
-                    if decisions[i].is_none() {
-                        decisions[i] = Some((value, round));
-                        if let Some(t) = trace.as_deref_mut() {
-                            t.record_decision(me, round);
-                        }
-                        self.obs.add(
-                            names::ENGINE_DECISIONS,
-                            Labels::process_round(i, round_no),
-                            1,
-                        );
-                    }
-                }
-            }
-
-            if let (Some(t), Some(h)) = (trace.as_deref_mut(), heard.take()) {
-                t.record_round(&faults, h);
-            }
-            pattern.push(faults);
+                .add(names::ENGINE_VIOLATIONS, Labels::round(round_no), 1);
             self.obs.round_exit(names::ENGINE_ROUND_LATENCY, span);
+            // Keep the offending round in the trace: it is the evidence.
+            if let Some(t) = self.trace.as_mut() {
+                t.record_violating_round(faults);
+            }
+            self.finish(
+                Err(violation.clone().into()),
+                TraceOutcome::Violation(violation),
+            );
+            return EngineStep::Finished;
+        }
 
-            if decisions.iter().all(Option::is_some) {
-                return (
-                    Ok(RunReport {
-                        decisions,
-                        pattern,
-                        rounds_executed: round_no,
-                    }),
-                    TraceOutcome::Decided {
-                        rounds_executed: round_no,
-                    },
+        // Receive phase: p_i sees m_{j,r} iff j ∉ D(i,r), through a
+        // masked view of the shared table.
+        let mut heard: Option<Vec<IdSet>> = self.trace.is_some().then(|| Vec::with_capacity(n));
+        for (i, protocol) in self.protocols.iter_mut().enumerate() {
+            let me = ProcessId::new(i);
+            let suspected = faults.of(me);
+            let delivery = Delivery::new(round, me, &self.messages, suspected);
+            let heard_set = delivery.heard_from();
+            if self.obs.is_enabled() {
+                let labels = Labels::process_round(i, round_no);
+                self.obs.add(
+                    names::ENGINE_MESSAGES_RECEIVED,
+                    labels,
+                    heard_set.len() as u64,
                 );
+                self.obs.add(
+                    names::ENGINE_DELIVERIES_SHARED,
+                    labels,
+                    heard_set.len() as u64,
+                );
+                self.obs
+                    .observe(names::ENGINE_HEARD_SIZE, labels, heard_set.len() as u64);
+                self.obs
+                    .observe(names::ENGINE_SUSPICION_SIZE, labels, suspected.len() as u64);
+            }
+            if let Some(h) = heard.as_mut() {
+                h.push(heard_set);
+            }
+            if let Control::Decide(value) = protocol.deliver(delivery) {
+                // First decision wins; later Decide outputs are ignored,
+                // matching "commit to outputs".
+                if self.decisions[i].is_none() {
+                    self.decisions[i] = Some((value, round));
+                    if let Some(t) = self.trace.as_mut() {
+                        t.record_decision(me, round);
+                    }
+                    self.obs.add(
+                        names::ENGINE_DECISIONS,
+                        Labels::process_round(i, round_no),
+                        1,
+                    );
+                }
             }
         }
 
-        (
-            Err(EngineError::RoundLimitExceeded {
-                max_rounds: self.max_rounds,
-            }),
-            TraceOutcome::RoundLimit {
-                max_rounds: self.max_rounds,
-            },
-        )
+        if let (Some(t), Some(h)) = (self.trace.as_mut(), heard.take()) {
+            t.record_round(&faults, h);
+        }
+        self.pattern.push(faults);
+        self.obs.round_exit(names::ENGINE_ROUND_LATENCY, span);
+        self.next_round = round_no + 1;
+
+        if self.decisions.iter().all(Option::is_some) {
+            let decisions = std::mem::take(&mut self.decisions);
+            let pattern = std::mem::replace(&mut self.pattern, FaultPattern::new(self.n));
+            self.finish(
+                Ok(RunReport {
+                    decisions,
+                    pattern,
+                    rounds_executed: round_no,
+                }),
+                TraceOutcome::Decided {
+                    rounds_executed: round_no,
+                },
+            );
+            return EngineStep::Finished;
+        }
+        EngineStep::Running
+    }
+
+    /// The run's result once finished; `None` while still running.
+    #[must_use]
+    pub fn outcome(&self) -> Option<&Result<RunReport<P::Output>, EngineError>> {
+        self.done.as_ref()
+    }
+
+    /// Steps the run until terminal (a no-op when already finished) and
+    /// dismantles it into result, optional trace, and the reusable
+    /// emission-table buffer.
+    pub fn run_to_completion(mut self) -> FinishedRun<P::Output, P::Msg> {
+        loop {
+            if let Some(result) = self.done.take() {
+                let mut buffer = std::mem::take(&mut self.messages);
+                buffer.clear();
+                return FinishedRun {
+                    result,
+                    trace: self.finished_trace.take(),
+                    buffer,
+                };
+            }
+            self.step();
+        }
+    }
+
+    fn finish(&mut self, result: Result<RunReport<P::Output>, EngineError>, outcome: TraceOutcome) {
+        self.finished_trace = self.trace.take().map(|t| t.finish(outcome));
+        self.done = Some(result);
     }
 }
 
@@ -827,6 +1044,132 @@ mod tests {
                 .run_traced(protos, &mut det, &AnyPattern::new(size));
         assert!(matches!(result, Err(EngineError::Violation(_))));
         assert_eq!(obs.snapshot().counter_total(names::ENGINE_VIOLATIONS), 1);
+    }
+
+    #[test]
+    fn stepped_run_matches_run_round_for_round() {
+        let size = n(4);
+        let mut r1 = RoundFaults::none(size);
+        r1.set(ProcessId::new(0), IdSet::singleton(ProcessId::new(2)));
+        let per_round = vec![r1];
+        let protos = || -> Vec<_> { (0..4).map(|_| DecideAfter::new(3)).collect() };
+
+        let mut det = FixedDetector {
+            n: size,
+            per_round: per_round.clone(),
+        };
+        let reference = Engine::new(size)
+            .run(protos(), &mut det, &AnyPattern::new(size))
+            .unwrap();
+
+        let det = FixedDetector { n: size, per_round };
+        let mut run = Engine::new(size)
+            .start(protos(), det, AnyPattern::new(size))
+            .unwrap();
+        assert!(!run.is_finished());
+        assert_eq!(run.step(), EngineStep::Running);
+        assert_eq!(run.rounds_executed(), 1);
+        assert!(run.outcome().is_none());
+        assert_eq!(run.step(), EngineStep::Running);
+        assert_eq!(run.step(), EngineStep::Finished);
+        assert!(run.is_finished());
+        // Stepping a finished run is a no-op.
+        assert_eq!(run.step(), EngineStep::Finished);
+        let finished = run.run_to_completion();
+        let report = finished.result.unwrap();
+        assert_eq!(report.rounds_executed, reference.rounds_executed);
+        assert_eq!(report.pattern, reference.pattern);
+        assert_eq!(report.decisions, reference.decisions);
+        assert!(finished.trace.is_none(), "untraced start captures nothing");
+        assert!(finished.buffer.is_empty() && finished.buffer.capacity() >= 4);
+    }
+
+    #[test]
+    fn start_traced_stepping_matches_run_traced_byte_for_byte() {
+        let size = n(3);
+        let mut r1 = RoundFaults::none(size);
+        r1.set(ProcessId::new(1), IdSet::singleton(ProcessId::new(0)));
+        let per_round = vec![r1];
+        let protos = || -> Vec<_> { (0..3).map(|_| DecideAfter::new(2)).collect() };
+
+        let mut det = FixedDetector {
+            n: size,
+            per_round: per_round.clone(),
+        };
+        let (reference, reference_trace) =
+            Engine::new(size).run_traced(protos(), &mut det, &AnyPattern::new(size));
+
+        let det = FixedDetector { n: size, per_round };
+        let run = Engine::new(size)
+            .start_traced(protos(), det, AnyPattern::new(size))
+            .unwrap();
+        let finished = run.run_to_completion();
+        assert_eq!(
+            finished.result.unwrap().decisions,
+            reference.unwrap().decisions
+        );
+        let trace = finished.trace.expect("trace was armed");
+        assert_eq!(trace.to_string(), reference_trace.to_string());
+    }
+
+    #[test]
+    fn stepped_violation_and_round_limit_are_terminal() {
+        let size = n(3);
+        let mut bad = RoundFaults::none(size);
+        bad.set(ProcessId::new(1), IdSet::universe(size));
+        let det = FixedDetector {
+            n: size,
+            per_round: vec![bad],
+        };
+        let protos: Vec<_> = (0..3).map(|_| DecideAfter::new(5)).collect();
+        let mut run = Engine::new(size)
+            .start(protos, det, AnyPattern::new(size))
+            .unwrap();
+        assert_eq!(run.step(), EngineStep::Finished);
+        assert!(matches!(
+            run.run_to_completion().result,
+            Err(EngineError::Violation(_))
+        ));
+
+        let det = FixedDetector {
+            n: size,
+            per_round: vec![],
+        };
+        let protos: Vec<_> = (0..3).map(|_| DecideAfter::new(100)).collect();
+        let run = Engine::new(size)
+            .max_rounds(2)
+            .start(protos, det, AnyPattern::new(size))
+            .unwrap();
+        assert_eq!(
+            run.run_to_completion().result,
+            Err(EngineError::RoundLimitExceeded { max_rounds: 2 })
+        );
+    }
+
+    #[test]
+    fn recycled_buffer_is_reused_across_runs() {
+        let size = n(2);
+        let protos = || -> Vec<_> { (0..2).map(|_| DecideAfter::new(1)).collect() };
+        let det = || FixedDetector {
+            n: size,
+            per_round: vec![],
+        };
+        let engine = Engine::new(size);
+        let first = engine
+            .start(protos(), det(), AnyPattern::new(size))
+            .unwrap()
+            .run_to_completion();
+        let capacity = first.buffer.capacity();
+        let ptr = first.buffer.as_ptr();
+        assert!(capacity >= 2);
+        let second = engine
+            .start_with_buffer(protos(), det(), AnyPattern::new(size), first.buffer)
+            .unwrap()
+            .run_to_completion();
+        assert!(second.result.unwrap().all_decided());
+        // Same allocation, recycled through the whole second run.
+        assert_eq!(second.buffer.as_ptr(), ptr);
+        assert_eq!(second.buffer.capacity(), capacity);
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub mod task;
 mod trace;
 
 pub use engine::{
-    Control, Delivery, Engine, EngineError, FaultDetector, RoundProtocol, RunReport,
-    DEFAULT_MAX_ROUNDS,
+    Control, Delivery, Engine, EngineError, EngineRun, EngineStep, FaultDetector, FinishedRun,
+    RoundProtocol, RunReport, DEFAULT_MAX_ROUNDS,
 };
 pub use events::{Actor, EventLog, RtEvent, RtEventKind};
 pub use full_info::{KnowledgeMatrix, KnowledgeProtocol, KnowledgeState};

@@ -1,0 +1,42 @@
+//! Multi-tenant batch execution for RRFD protocol instances.
+//!
+//! The paper (and the rest of the workspace) takes *one run of one
+//! protocol under one predicate* as the unit of analysis. A
+//! production-shaped system runs **many** such instances concurrently —
+//! different protocols, different system sizes, different adversaries,
+//! some of them failing — and its service-level quantities are
+//! throughput (instances/sec) and tail round latency, not single-run
+//! speed. This crate is that throughput axis:
+//!
+//! * [`mix`] — weighted specifications of the tenant population
+//!   ([`MixSpec`]), parsed from compact spec strings, and the concrete
+//!   protocol/model/adversary classes they denote.
+//! * [`slab`] — the per-shard arena ([`Slab`]) holding live runs
+//!   cache-local with slot reuse.
+//! * [`pool`] — the sharded pool itself: [`run_batch`] multiplexes
+//!   instances over worker threads by stepping resumable
+//!   [`rrfd_core::EngineRun`]s one round at a time, recycling emission
+//!   buffers across instance turnover; [`run_sequential`] is the naive
+//!   one-`Engine::run`-per-instance baseline it is measured (and
+//!   differentially tested) against.
+//!
+//! Everything is deterministic in `(mix, instances, seed)`: instance →
+//! shard and instance → class assignments are pure functions of the
+//! instance id, so the pool and the baseline build identical instances
+//! without coordination, and a batch's decisions are reproducible at
+//! any shard count. The `rrfd-bench` crate's `serve` binary exposes
+//! this as a CLI and feeds the `throughput` section of BENCH_rrfd.json.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mix;
+pub mod pool;
+pub mod slab;
+
+pub use mix::{ClassKind, ClassSpec, MixError, MixSpec, Stall};
+pub use pool::{
+    run_batch, run_sequential, BatchReport, ClassTotals, InstanceClass, InstanceResult, PoolConfig,
+    RunSummary, DEFAULT_WINDOW,
+};
+pub use slab::Slab;

@@ -1,0 +1,148 @@
+//! A minimal slab allocator for per-shard instance state.
+//!
+//! Each pool shard stores its live [`rrfd_core::EngineRun`]s in a
+//! [`Slab`]: one contiguous `Vec` of slots plus a free list, so instance
+//! turnover (retire one run, admit the next) reuses a vacated slot
+//! instead of reallocating, and a sweep over live instances is a linear
+//! scan of one allocation — cache-local by construction. Keys are plain
+//! slot indices; the slab never shrinks, so a key stays valid until its
+//! entry is removed.
+
+/// A vector-backed arena with slot reuse.
+///
+/// Not a general-purpose slab: no key versioning (the pool never holds a
+/// key across a remove) and no shrinking (shards live for one batch).
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// An empty slab with room for `capacity` entries before the backing
+    /// vector grows.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            live: 0,
+        }
+    }
+
+    /// Stores `value`, reusing the most recently vacated slot when one
+    /// exists, and returns its key.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.live += 1;
+        match self.free.pop() {
+            Some(key) => {
+                self.slots[key] = Some(value);
+                key
+            }
+            None => {
+                self.slots.push(Some(value));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Removes and returns the entry at `key`; `None` when the slot is
+    /// vacant or out of range.
+    pub fn remove(&mut self, key: usize) -> Option<T> {
+        let taken = self.slots.get_mut(key).and_then(Option::take);
+        if taken.is_some() {
+            self.live -= 1;
+            self.free.push(key);
+        }
+        taken
+    }
+
+    /// The entry at `key`, mutably; `None` when vacant or out of range.
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        self.slots.get_mut(key).and_then(Option::as_mut)
+    }
+
+    /// Number of occupied slots.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no slot is occupied.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (occupied + vacant). Sweeping
+    /// `0..slot_count()` with [`Slab::get_mut`] visits every live entry.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_reuses_slots() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.live(), 2);
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.live(), 1);
+        // The vacated slot is reused: no new backing growth.
+        let c = slab.insert("c");
+        assert_eq!(c, a);
+        assert_eq!(slab.slot_count(), 2);
+        assert_eq!(slab.get_mut(b), Some(&mut "b"));
+        assert_eq!(slab.get_mut(c), Some(&mut "c"));
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_bounds_checked() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1u32);
+        assert_eq!(slab.remove(a), Some(1));
+        assert_eq!(slab.remove(a), None);
+        assert_eq!(slab.remove(999), None);
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    fn sweep_visits_every_live_entry_exactly_once() {
+        let mut slab = Slab::new();
+        for i in 0..10u32 {
+            slab.insert(i);
+        }
+        slab.remove(3);
+        slab.remove(7);
+        let mut seen = Vec::new();
+        for key in 0..slab.slot_count() {
+            if let Some(v) = slab.get_mut(key) {
+                seen.push(*v);
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+    }
+}

@@ -98,3 +98,33 @@ pub const EXPLORE_PRUNED_SYMMETRY: &str = "rrfd_explore_pruned_by_symmetry_total
 pub const EXPLORE_WORKERS: &str = "rrfd_explore_workers";
 /// Counter: independent subtree jobs the schedule tree was split into.
 pub const EXPLORE_SPLITS: &str = "rrfd_explore_splits_total";
+/// Gauge: distinct states the converged-state memos retained, summed over
+/// jobs (`0` with pruning off or for the sequential explorers).
+pub const EXPLORE_MEMO_ENTRIES: &str = "rrfd_explore_memo_entries";
+/// Gauge: state-encoding bytes the memos retained, summed over jobs.
+pub const EXPLORE_MEMO_BYTES: &str = "rrfd_explore_memo_bytes";
+/// Gauge: `1` when any job's memo hit its entry or byte cap and stopped
+/// inserting (degraded pruning), else `0`.
+pub const EXPLORE_MEMO_SATURATED: &str = "rrfd_explore_memo_saturated";
+
+// -- rrfd-engine-pool (multi-tenant batch execution) -------------------------
+
+/// Counter: instances a pool shard retired with a full decision, per
+/// shard (labelled `process = shard`).
+pub const POOL_INSTANCES: &str = "rrfd_pool_instances_total";
+/// Counter: instances a pool shard retired with an engine error
+/// (round limit, violation), per shard. Errored instances never poison
+/// their shard — this counter is the evidence they were contained.
+pub const POOL_ERRORS: &str = "rrfd_pool_errors_total";
+/// Counter: engine rounds executed by instances that decided, per
+/// shard (errored instances' partial rounds are not counted, matching
+/// the batch report's definition).
+pub const POOL_ROUNDS: &str = "rrfd_pool_rounds_total";
+/// Histogram: latency of one multiplexed engine step (one instance, one
+/// round) in clock ns. The batch harness reports its p99.
+pub const POOL_ROUND_LATENCY: &str = "rrfd_pool_round_latency_ns";
+/// Counter: admissions that reused a retired run's emission-table
+/// buffer instead of allocating (the slab lifecycle at work), per shard.
+pub const POOL_BUFFER_REUSES: &str = "rrfd_pool_buffer_reuses_total";
+/// Gauge: shards the batch ran on.
+pub const POOL_SHARDS: &str = "rrfd_pool_shards";

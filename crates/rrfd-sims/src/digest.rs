@@ -110,22 +110,56 @@ impl StateKey {
 /// confirmed by comparing the full encodings. Distinct states that happen
 /// to collide on the 64-bit hash land in the same bucket but are *not*
 /// merged.
-#[derive(Debug, Default)]
+///
+/// Every retained entry keeps its full `Box<[u8]>` encoding, so an
+/// unbounded memo on a long exploration grows without limit. A memo built
+/// with [`DigestMemo::bounded`] therefore enforces an entry and a byte
+/// cap; once either would be exceeded the memo *stops inserting* and
+/// marks itself [`DigestMemo::saturated`]. The degrade mode is sound by
+/// construction: a fresh state that cannot be retained is still reported
+/// fresh (explored, possibly more than once later) — fewer prunes, never
+/// a wrong prune.
+#[derive(Debug)]
 pub struct DigestMemo {
     buckets: HashMap<u64, Vec<Box<[u8]>>>,
     entries: usize,
+    bytes: usize,
+    max_entries: usize,
+    max_bytes: usize,
+    saturated: bool,
+}
+
+impl Default for DigestMemo {
+    fn default() -> Self {
+        DigestMemo::new()
+    }
 }
 
 impl DigestMemo {
-    /// An empty memo.
+    /// An empty, unbounded memo.
     #[must_use]
     pub fn new() -> Self {
-        DigestMemo::default()
+        DigestMemo::bounded(usize::MAX, usize::MAX)
+    }
+
+    /// An empty memo that retains at most `max_entries` states totalling
+    /// at most `max_bytes` of encoding payload.
+    #[must_use]
+    pub fn bounded(max_entries: usize, max_bytes: usize) -> Self {
+        DigestMemo {
+            buckets: HashMap::new(),
+            entries: 0,
+            bytes: 0,
+            max_entries,
+            max_bytes,
+            saturated: false,
+        }
     }
 
     /// Inserts `key`; returns `true` when the state is fresh (not seen
     /// before) and `false` when an *identical* encoding was already
-    /// present.
+    /// present. A fresh state past the cap is reported fresh but not
+    /// retained (see the type docs for why that degrade mode is sound).
     pub fn insert(&mut self, key: StateKey) -> bool {
         self.insert_raw(key.hash, key.bytes)
     }
@@ -138,6 +172,13 @@ impl DigestMemo {
         if bucket.iter().any(|seen| **seen == *bytes) {
             return false;
         }
+        if self.entries >= self.max_entries
+            || self.bytes.saturating_add(bytes.len()) > self.max_bytes
+        {
+            self.saturated = true;
+            return true;
+        }
+        self.bytes += bytes.len();
         bucket.push(bytes);
         self.entries += 1;
         true
@@ -153,6 +194,18 @@ impl DigestMemo {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries == 0
+    }
+
+    /// Total encoding bytes retained across all entries.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// `true` once an insert was refused by the entry or byte cap.
+    #[must_use]
+    pub fn saturated(&self) -> bool {
+        self.saturated
     }
 }
 
@@ -331,6 +384,49 @@ mod tests {
         assert!(!memo.insert_raw(0xDEAD_BEEF, first));
         assert!(!memo.insert_raw(0xDEAD_BEEF, second));
         assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn entry_cap_degrades_to_fresh_not_wrong() {
+        let mut memo = DigestMemo::bounded(2, usize::MAX);
+        assert!(memo.insert(key_of(&1u64)));
+        assert!(memo.insert(key_of(&2u64)));
+        assert!(!memo.saturated());
+        // Third distinct state: reported fresh (explored) but not retained.
+        assert!(memo.insert(key_of(&3u64)));
+        assert!(memo.saturated());
+        assert_eq!(memo.len(), 2);
+        // Re-encountering the unretained state stays "fresh" — a repeat
+        // visit, never a wrong prune.
+        assert!(memo.insert(key_of(&3u64)));
+        // Retained states still dedup after saturation.
+        assert!(!memo.insert(key_of(&1u64)));
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn byte_cap_degrades_to_fresh_not_wrong() {
+        // Each u64 key encodes to 8 bytes; cap at 12 retains exactly one.
+        let mut memo = DigestMemo::bounded(usize::MAX, 12);
+        assert!(memo.insert(key_of(&1u64)));
+        assert_eq!(memo.bytes(), 8);
+        assert!(!memo.saturated());
+        assert!(memo.insert(key_of(&2u64)));
+        assert!(memo.saturated());
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.bytes(), 8);
+        assert!(!memo.insert(key_of(&1u64)), "retained entry still dedups");
+    }
+
+    #[test]
+    fn unbounded_memo_never_saturates() {
+        let mut memo = DigestMemo::new();
+        for i in 0..1000u64 {
+            assert!(memo.insert(key_of(&i)));
+        }
+        assert_eq!(memo.len(), 1000);
+        assert_eq!(memo.bytes(), 8000);
+        assert!(!memo.saturated());
     }
 
     #[test]

@@ -64,6 +64,14 @@ pub struct ExploreStats {
     /// Independent subtree jobs the schedule tree was split into (`0` for
     /// the sequential explorers — they never split).
     pub wall_splits: usize,
+    /// Distinct states the converged-state memos retained, summed over
+    /// jobs (`0` for the sequential explorers and with pruning off).
+    pub memo_entries: usize,
+    /// Encoding bytes the memos retained, summed over jobs.
+    pub memo_bytes: usize,
+    /// `true` when any job's memo hit its entry or byte cap and degraded
+    /// to not inserting (fewer prunes, never a wrong prune).
+    pub memo_saturated: bool,
 }
 
 impl ExploreStats {
@@ -82,6 +90,9 @@ impl ExploreStats {
             pruned_by_symmetry: self.pruned_by_symmetry + other.pruned_by_symmetry,
             workers: self.workers.max(other.workers),
             wall_splits: self.wall_splits + other.wall_splits,
+            memo_entries: self.memo_entries + other.memo_entries,
+            memo_bytes: self.memo_bytes + other.memo_bytes,
+            memo_saturated: self.memo_saturated || other.memo_saturated,
         }
     }
 
@@ -122,6 +133,21 @@ impl ExploreStats {
             names::EXPLORE_SPLITS,
             Labels::GLOBAL,
             self.wall_splits as u64,
+        );
+        obs.gauge(
+            names::EXPLORE_MEMO_ENTRIES,
+            Labels::GLOBAL,
+            i64::try_from(self.memo_entries).unwrap_or(i64::MAX),
+        );
+        obs.gauge(
+            names::EXPLORE_MEMO_BYTES,
+            Labels::GLOBAL,
+            i64::try_from(self.memo_bytes).unwrap_or(i64::MAX),
+        );
+        obs.gauge(
+            names::EXPLORE_MEMO_SATURATED,
+            Labels::GLOBAL,
+            i64::from(self.memo_saturated),
         );
     }
 }

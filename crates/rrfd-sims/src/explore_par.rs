@@ -62,6 +62,8 @@ pub struct ParConfig {
     hash_pruning: bool,
     symmetry: bool,
     max_schedules: usize,
+    memo_max_entries: usize,
+    memo_max_bytes: usize,
 }
 
 impl ParConfig {
@@ -76,6 +78,8 @@ impl ParConfig {
             hash_pruning: true,
             symmetry: false,
             max_schedules: 1_000_000,
+            memo_max_entries: usize::MAX,
+            memo_max_bytes: usize::MAX,
         }
     }
 
@@ -120,6 +124,18 @@ impl ParConfig {
     #[must_use]
     pub fn max_schedules(mut self, max: usize) -> Self {
         self.max_schedules = max;
+        self
+    }
+
+    /// Caps each per-job [`DigestMemo`] at `entries` retained states and
+    /// `bytes` of retained encodings (both default to unbounded). A full
+    /// memo degrades soundly: it stops inserting, so later states are
+    /// re-explored instead of pruned — fewer prunes, never a wrong prune.
+    /// Saturation is reported through [`ExploreStats::memo_saturated`].
+    #[must_use]
+    pub fn memo_cap(mut self, entries: usize, bytes: usize) -> Self {
+        self.memo_max_entries = entries;
+        self.memo_max_bytes = bytes;
         self
     }
 
@@ -563,13 +579,26 @@ where
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(local) => local,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
+            // Drain every handle before re-raising: joining all workers
+            // first guarantees no straggler thread outlives the scope's
+            // unwind when one worker panics (e.g. a panicking check
+            // closure), so partially-claimed jobs can never race cleanup.
+            let mut locals = Vec::with_capacity(worker_count);
+            let mut first_panic = None;
+            for h in handles {
+                match h.join() {
+                    Ok(local) => locals.push(local),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+            locals
         });
         for (i, outcome) in collected.into_iter().flatten() {
             slots[i] = Some(outcome);
@@ -608,7 +637,7 @@ where
     F: Fn(&T::Report) -> Result<(), String>,
 {
     let mut out = JobOutcome::new();
-    let mut memo = DigestMemo::new();
+    let mut memo = DigestMemo::bounded(config.memo_max_entries, config.memo_max_bytes);
     let mut path = job.path.clone();
     let mut choices = job.choices.clone();
     dfs(
@@ -624,6 +653,9 @@ where
         schedules_seen,
         config,
     );
+    out.stats.memo_entries += memo.len();
+    out.stats.memo_bytes += memo.bytes();
+    out.stats.memo_saturated |= memo.saturated();
     out
 }
 
@@ -1138,6 +1170,102 @@ mod tests {
         )
         .unwrap();
         assert_eq!(par_total.schedules, seq_total.schedules);
+    }
+
+    #[test]
+    fn memo_cap_degrades_to_fewer_prunes_never_wrong() {
+        let sim = SharedMemSim::new(size(3), 1);
+        let unbounded = explore_shared_mem_par(
+            &sim,
+            || ring(3),
+            |_| Ok(()),
+            no_fingerprint,
+            &ParConfig::new(2),
+        )
+        .unwrap();
+        assert!(unbounded.pruned_by_hash > 0);
+        assert!(unbounded.memo_entries > 0);
+        assert!(unbounded.memo_bytes > 0);
+        assert!(!unbounded.memo_saturated);
+
+        // Entry cap 0: nothing is ever memoized, so nothing is ever
+        // pruned — the walk degenerates to the full 9!/(3!3!3!) = 1680
+        // schedule tree, proving the degrade is "fewer prunes", not
+        // "wrong prunes".
+        let starved = explore_shared_mem_par(
+            &sim,
+            || ring(3),
+            |_| Ok(()),
+            no_fingerprint,
+            &ParConfig::new(2).memo_cap(0, usize::MAX),
+        )
+        .unwrap();
+        assert!(starved.memo_saturated);
+        assert_eq!(starved.pruned_by_hash, 0);
+        assert_eq!(starved.memo_entries, 0);
+        assert_eq!(starved.memo_bytes, 0);
+        assert_eq!(starved.schedules, 1680);
+
+        // A small per-job entry cap saturates mid-search: no more prunes
+        // than unbounded, and every schedule the unbounded walk reached
+        // is still reached (pruning only ever removes revisits).
+        let capped = explore_shared_mem_par(
+            &sim,
+            || ring(3),
+            |_| Ok(()),
+            no_fingerprint,
+            &ParConfig::new(2).memo_cap(3, usize::MAX),
+        )
+        .unwrap();
+        assert!(capped.memo_saturated);
+        assert!(capped.pruned_by_hash <= unbounded.pruned_by_hash);
+        assert!(capped.memo_entries <= unbounded.memo_entries);
+        assert!(capped.schedules >= unbounded.schedules);
+        assert!(capped.schedules <= 1680);
+    }
+
+    #[test]
+    fn panicking_check_drains_all_workers() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// Decrement-on-drop guard: runs on panic unwind too, so
+        /// `started == finished` exactly when no check invocation is
+        /// still in flight on a straggler thread.
+        struct Finished<'a>(&'a AtomicUsize);
+        impl Drop for Finished<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let started = AtomicUsize::new(0);
+        let finished = AtomicUsize::new(0);
+        let sim = SharedMemSim::new(size(3), 1);
+        let config = ParConfig::new(4).hash_pruning(false);
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            let _ = explore_shared_mem_par(
+                &sim,
+                || ring(3),
+                |_: &MemRunReport<RingRead, u64>| -> Result<(), String> {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    let _guard = Finished(&finished);
+                    panic!("boom");
+                },
+                no_fingerprint,
+                &config,
+            );
+        }))
+        .unwrap_err();
+        // The first worker's payload is re-raised verbatim after every
+        // handle has been joined.
+        assert_eq!(payload.downcast_ref::<&str>().copied(), Some("boom"));
+        // Multiple workers panicked concurrently; all of them must have
+        // been drained before the unwind reached us.
+        let s = started.load(Ordering::SeqCst);
+        let f = finished.load(Ordering::SeqCst);
+        assert!(s >= 1, "no check ever ran");
+        assert_eq!(s, f, "a worker outlived the re-raised panic");
     }
 
     #[test]

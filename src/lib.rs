@@ -18,6 +18,10 @@
 //!   consensus of Section 5.
 //! * [`runtime`] — a threaded execution harness that runs RRFD algorithms on
 //!   real OS threads with a coordinator fault detector.
+//! * [`pool`] — the multi-tenant batch execution engine: thousands of
+//!   independent protocol instances (mixed protocols, sizes, adversaries)
+//!   multiplexed round-by-round across a sharded worker pool, with slab
+//!   slot and emission-buffer reuse (DESIGN.md §13).
 //! * [`obs`] — round-structured observability: deterministic counters,
 //!   gauges, and histograms keyed by `(metric, process, round)`, with
 //!   JSONL and Prometheus exporters and a pluggable clock.
@@ -50,6 +54,7 @@
 pub mod guide;
 
 pub use rrfd_core as core;
+pub use rrfd_engine_pool as pool;
 pub use rrfd_models as models;
 pub use rrfd_obs as obs;
 pub use rrfd_protocols as protocols;
