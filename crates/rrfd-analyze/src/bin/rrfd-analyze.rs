@@ -12,29 +12,39 @@ use std::process::ExitCode;
 const USAGE: &str = "\
 usage: rrfd-analyze <command> [options]
 
+Every subcommand exits 0 when clean, 1 on findings/drift, 2 on usage
+errors; --json switches stdout to a machine-readable object.
+
 commands:
   lattice [--depth N] [--n N] [--f F] [--workers W] [--check | --update]
-          [--file PATH]
+          [--file PATH] [--json]
       Compute the predicate-implication lattice over the standard zoo
-      (default n=3, f=1, depth 3) and print it as markdown. The pair
-      searches run on W threads (default: RRFD_EXPLORE_WORKERS, else the
-      machine's parallelism); the result is identical at any W. With
-      --check, compare against the `<!-- lattice:begin -->` block in PATH
+      (default n=3, f=1, depth 3) and print it as markdown (or as an
+      `rrfd-lattice v1` JSON object with --json). The pair searches run
+      on W threads (default: RRFD_EXPLORE_WORKERS, else the machine's
+      parallelism); the result is identical at any W. With --check,
+      compare against the `<!-- lattice:begin -->` block in PATH
       (default EXPERIMENTS.md) and fail on drift; with --update, rewrite
       the block.
 
-  races <trace-file> [--expect-violations]
+  races <trace-file> [--expect-violations] [--json]
       Analyze a serialized `rrfd-trace v1` or `rrfd-events v1` capture.
       Reports covering violations, unmatched messages, cross-round
-      reordering, and data races. With --expect-violations the exit
-      status inverts: a clean trace fails (for CI fixtures that seed a
-      defect on purpose).
+      reordering, and data races (as an `rrfd-races v1` JSON object with
+      --json). With --expect-violations the exit status inverts: a clean
+      trace fails (for CI fixtures that seed a defect on purpose).
 
-  lint [--root DIR] [--allow PATH]
-      Token-scan crates/*/src for panic-family calls, wall-clock reads in
-      deterministic crates, direct delivery indexing, and Clock-bypassing
-      time reads in instrumented crates, reconciled against the allowlist
-      (default lint.allow under --root, default .).
+  lint [--root DIR] [--allow PATH] [--strict] [--json]
+       [--expect-findings PASS[,PASS...]]
+      Run the seven syntax-aware passes (panic-family, wall-clock, obs,
+      direct-index, msg-clone, round-closure, lock-order) over
+      crates/*/src, with crate fences from each Cargo.toml's
+      [package.metadata.rrfd], reconciled against the span-fingerprinted
+      allowlist (default lint.allow under --root, default .). --strict
+      also fails on stale allowlist entries (the CI default); --json
+      emits an `rrfd-lint v1` object. --expect-findings inverts the
+      exit status per pass: success iff every named pass fired (for the
+      seeded negative fixtures in CI).
 
   stats <capture-file> [--check PATH]
       Render per-round statistics (messages, suspicions, decisions,
@@ -135,11 +145,15 @@ fn run_lattice(args: &[String]) -> ExitCode {
     };
     let check = take_flag(&mut rest, "--check");
     let update = take_flag(&mut rest, "--update");
+    let json = take_flag(&mut rest, "--json");
     if let Some(extra) = rest.first() {
         return usage_error(&format!("unexpected argument {extra:?}"));
     }
     if check && update {
         return usage_error("--check and --update are mutually exclusive");
+    }
+    if json && (check || update) {
+        return usage_error("--json renders to stdout; it cannot combine with --check/--update");
     }
     let Ok(n) = SystemSize::new(n) else {
         return usage_error("--n must be at least 1");
@@ -151,6 +165,10 @@ fn run_lattice(args: &[String]) -> ExitCode {
     );
     let zoo = lattice::zoo(n, f);
     let computed = lattice::Lattice::compute_par(&zoo, depth, workers.max(1));
+    if json {
+        print!("{}", computed.render_json());
+        return ExitCode::SUCCESS;
+    }
     let rendered = computed.render_markdown();
 
     if !check && !update {
@@ -201,6 +219,7 @@ fn run_lattice(args: &[String]) -> ExitCode {
 fn run_races(args: &[String]) -> ExitCode {
     let mut rest = args.to_vec();
     let expect_violations = take_flag(&mut rest, "--expect-violations");
+    let json = take_flag(&mut rest, "--json");
     let [path] = rest.as_slice() else {
         return usage_error("races needs exactly one trace file");
     };
@@ -218,8 +237,12 @@ fn run_races(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for finding in &findings {
-        println!("{path}: {finding}");
+    if json {
+        print!("{}", races_json(path, &findings, expect_violations));
+    } else {
+        for finding in &findings {
+            println!("{path}: {finding}");
+        }
     }
     match (findings.is_empty(), expect_violations) {
         (true, false) => {
@@ -287,31 +310,90 @@ fn run_stats(args: &[String]) -> ExitCode {
     }
 }
 
+fn races_json(path: &str, findings: &[races::Finding], expect_violations: bool) -> String {
+    use rrfd_analyze::jsonout::esc;
+    let mut out =
+        String::from("{\n  \"tool\": \"rrfd-analyze races\",\n  \"format\": \"rrfd-races v1\",\n");
+    out.push_str(&format!("  \"capture\": \"{}\",\n", esc(path)));
+    out.push_str(&format!("  \"expect_violations\": {expect_violations},\n"));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"kind\": \"{}\", \"detail\": \"{}\"}}",
+            esc(&f.kind.to_string()),
+            esc(&f.detail)
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"clean\": {}\n}}\n",
+        findings.is_empty() != expect_violations
+    ));
+    out
+}
+
 fn run_lint(args: &[String]) -> ExitCode {
     let mut rest = args.to_vec();
-    let parsed = (|| -> Result<(PathBuf, PathBuf), String> {
+    let parsed = (|| -> Result<(PathBuf, PathBuf, Option<String>), String> {
         let root =
             PathBuf::from(take_value(&mut rest, "--root")?.unwrap_or_else(|| ".".to_owned()));
         let allow = match take_value(&mut rest, "--allow")? {
             Some(p) => PathBuf::from(p),
             None => root.join("lint.allow"),
         };
-        Ok((root, allow))
+        let expect = take_value(&mut rest, "--expect-findings")?;
+        Ok((root, allow, expect))
     })();
-    let (root, allow_path) = match parsed {
+    let (root, allow_path, expect) = match parsed {
         Ok(p) => p,
         Err(e) => return usage_error(&e),
     };
+    let strict = take_flag(&mut rest, "--strict");
+    let json = take_flag(&mut rest, "--json");
     if let Some(extra) = rest.first() {
         return usage_error(&format!("unexpected argument {extra:?}"));
     }
-    let findings = match lint::scan_workspace(&root) {
+    let findings = match lint::scan_root(&root) {
         Ok(findings) => findings,
         Err(e) => {
             eprintln!("scan failed under {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
+    if let Some(expected) = expect {
+        // Negative-fixture mode: every named pass must fire at least
+        // once; the allowlist is not consulted.
+        let mut missing = Vec::new();
+        for pass in expected.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            if !rrfd_analyze::passes::pass_names().contains(&pass) {
+                return usage_error(&format!("--expect-findings names unknown pass {pass:?}"));
+            }
+            if !findings.iter().any(|f| f.pass == pass) {
+                missing.push(pass.to_owned());
+            }
+        }
+        for f in &findings {
+            println!("{f}");
+        }
+        return if missing.is_empty() {
+            eprintln!(
+                "lint fixtures fired as expected ({} finding(s) under {})",
+                findings.len(),
+                root.display()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "expected findings from pass(es) {} under {}, but none fired",
+                missing.join(", "),
+                root.display()
+            );
+            ExitCode::FAILURE
+        };
+    }
     let allowances = match std::fs::read_to_string(&allow_path) {
         Ok(text) => match lint::parse_allowlist(&text) {
             Ok(entries) => entries,
@@ -323,24 +405,39 @@ fn run_lint(args: &[String]) -> ExitCode {
         Err(_) => Vec::new(), // no allowlist: every finding is a violation
     };
     let report = lint::reconcile(&findings, &allowances);
-    for notice in &report.notices {
-        eprintln!("notice: {notice}");
-    }
-    if report.is_clean() {
-        eprintln!(
-            "lint clean: {} finding(s), all within allowlisted budgets",
-            findings.len()
-        );
-        ExitCode::SUCCESS
+    if json {
+        print!("{}", lint::render_json(&findings, &report, strict));
     } else {
+        for notice in &report.notices {
+            eprintln!("notice: {notice}");
+        }
         for violation in &report.violations {
             eprintln!("{violation}");
         }
-        eprintln!(
-            "lint failed: {} violation line(s) — fix them or ratchet lint.allow \
-             with a justification",
-            report.violations.len()
-        );
+    }
+    if report.is_clean(strict) {
+        if !json {
+            eprintln!(
+                "lint clean: {} finding(s) across 7 passes, all pinned or budgeted in {}",
+                findings.len(),
+                allow_path.display()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            eprintln!(
+                "lint failed: {} violation line(s), {} notice(s){} — fix the findings or \
+                 pin them in lint.allow with a justification",
+                report.violations.len(),
+                report.notices.len(),
+                if strict {
+                    " (strict: stale allowlist entries fail)"
+                } else {
+                    ""
+                }
+            );
+        }
         ExitCode::FAILURE
     }
 }

@@ -397,6 +397,59 @@ impl Lattice {
         }
         out
     }
+
+    /// Renders the lattice as one JSON object (`rrfd-lattice v1`) for
+    /// scripted consumers: parameters, predicate names, the implication
+    /// matrix, equivalence classes, and Hasse cover edges — the same
+    /// content as [`Lattice::render_markdown`], machine-readable.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        use crate::jsonout::{esc, str_array};
+        let mut out = String::from(
+            "{\n  \"tool\": \"rrfd-analyze lattice\",\n  \"format\": \"rrfd-lattice v1\",\n",
+        );
+        let _ = writeln!(out, "  \"n\": {},", self.n.get());
+        let _ = writeln!(out, "  \"max_rounds\": {},", self.max_rounds);
+        let _ = writeln!(out, "  \"predicates\": {},", str_array(&self.names));
+        let rows: Vec<String> = self
+            .matrix
+            .iter()
+            .map(|row| {
+                let cells: Vec<&str> = row
+                    .iter()
+                    .map(|&b| if b { "true" } else { "false" })
+                    .collect();
+                format!("[{}]", cells.join(", "))
+            })
+            .collect();
+        let _ = writeln!(out, "  \"implies\": [{}],", rows.join(", "));
+        let classes: Vec<String> = self
+            .equivalence_classes()
+            .iter()
+            .map(|class| {
+                let members: Vec<String> = class
+                    .iter()
+                    .map(|&i| format!("\"{}\"", esc(&self.names[i])))
+                    .collect();
+                format!("[{}]", members.join(", "))
+            })
+            .collect();
+        let _ = writeln!(out, "  \"equivalence_classes\": [{}],", classes.join(", "));
+        let edges: Vec<String> = self
+            .cover_edges()
+            .iter()
+            .map(|&(lo, hi)| {
+                format!(
+                    "[\"{}\", \"{}\"]",
+                    esc(&self.names[lo]),
+                    esc(&self.names[hi])
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "  \"cover_edges\": [{}]", edges.join(", "));
+        out.push_str("}\n");
+        out
+    }
 }
 
 #[cfg(test)]

@@ -9,24 +9,33 @@
 //! * [`races`] — rebuilds happens-before over captured `rrfd-trace v1` /
 //!   `rrfd-events v1` traces with vector clocks, reporting covering
 //!   violations, cross-round reordering and data races.
-//! * [`lint`] — a dependency-free token scanner enforcing the
-//!   workspace's no-panic / no-wall-clock / no-direct-index /
-//!   no-clock-bypass invariants with an allowlist ratchet.
+//! * [`lint`] — the syntax-aware static-analysis framework: a
+//!   hand-rolled lexer and scope parser ([`syntax`]), fences derived
+//!   from `Cargo.toml` metadata ([`workspace`]), a pluggable pass API
+//!   with seven passes ([`passes`]) including the `round-closure`
+//!   communication-closure checker (arXiv:1804.07078) and the
+//!   `lock-order` deadlock-cycle detector, reconciled against a
+//!   span-fingerprinted allowlist with JSON diagnostics.
 //! * [`stats`] — renders per-round tables (messages, suspicions,
 //!   decisions, latency quantiles) from `rrfd-trace v1`, `rrfd-events
 //!   v1`, or metrics-JSONL capture files, golden-checkable in CI.
 //!
 //! ```text
 //! cargo run --release -p rrfd-analyze --bin rrfd-analyze -- lattice
-//! cargo run -p rrfd-analyze --bin rrfd-analyze -- races trace.txt
-//! cargo run -p rrfd-analyze --bin rrfd-analyze -- lint
+//! cargo run -p rrfd-analyze --bin rrfd-analyze -- races trace.txt --json
+//! cargo run -p rrfd-analyze --bin rrfd-analyze -- lint --strict --json
 //! cargo run -p rrfd-analyze --bin rrfd-analyze -- stats trace.txt
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod jsonout;
 pub mod lattice;
+pub mod legacy;
 pub mod lint;
+pub mod passes;
 pub mod races;
 pub mod stats;
+pub mod syntax;
+pub mod workspace;

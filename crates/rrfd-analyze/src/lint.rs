@@ -1,140 +1,71 @@
-//! A dependency-free lint pass over the workspace's library code.
+//! The workspace lint pass: orchestration of the syntax-aware pass
+//! framework (`syntax` + `passes` + `workspace`) plus the
+//! span-fingerprinted allowlist that ratchets findings toward zero.
 //!
-//! Five lints, each encoding a project invariant the compiler cannot:
+//! Seven passes run over lexed source (see [`crate::passes::registry`]):
+//! the five ported token lints (`panic-family`, `wall-clock`, `obs`,
+//! `direct-index`, `msg-clone`) and the two flagship syntax passes
+//! (`round-closure`, `lock-order`). Which pass applies to which crate
+//! is governed by `Cargo.toml` fence metadata, not code (see
+//! [`crate::workspace`]).
 //!
-//! * **`panic-family`** — `.unwrap()`, `.expect(` and `panic!` in
-//!   non-test library code. PR 1 introduced typed error enums
-//!   (`EngineError`, `ThreadedError`, `ExploreError`); new code should
-//!   propagate them rather than abort.
-//! * **`wall-clock`** — `Instant::now` / `SystemTime::now` inside the
-//!   deterministic crates (`rrfd-core`, `rrfd-models`, `rrfd-sims`,
-//!   `rrfd-protocols`). Determinism is what makes traces replayable;
-//!   reading the wall clock breaks it silently.
-//! * **`direct-index`** — `received[` in protocol code: indexing the
-//!   delivery array directly bypasses the suspected-process `Option`
-//!   check that the covering property hinges on.
-//! * **`obs`** — `Instant::now` / `SystemTime::now` inside the
-//!   instrumented crates (`rrfd-runtime`, `rrfd-obs`). Timing there must
-//!   flow through the pluggable `rrfd_obs::Clock` abstraction so runs
-//!   stay reproducible under a logical clock; the one sanctioned reader
-//!   (`WallClock` itself) carries an allowlist budget.
-//! * **`msg-clone`** — `msg.clone()`, or `messages[` and `.clone()` on
-//!   one line, inside the message-plane crates (`rrfd-core`,
-//!   `rrfd-runtime`, `rrfd-sims`). The zero-copy plane shares one
-//!   emission per sender (`&'a [Option<M>]` tables, `Arc` channels);
-//!   cloning a payload out of a delivery loop reintroduces the `O(n²)`
-//!   copy volume the plane exists to eliminate. The sanctioned deep copy
-//!   (`ClonePlaneEngine`, the ablation baseline) lives in `rrfd-bench`,
-//!   outside the fence.
+//! ## The allowlist (`lint.allow`)
 //!
-//! The scanner is a line-oriented token matcher, not a parser: it strips
-//! block/line comments and string literals, and skips `#[cfg(test)]`
-//! modules by brace counting. `src/bin/` trees are excluded (CLIs may
-//! abort). Findings are reconciled against an allowlist file whose
-//! entries name a budget per `(lint, file)`:
+//! One entry per line, `#` comments:
 //!
 //! ```text
-//! panic-family crates/rrfd-core/src/task.rs 2  # consensus spec violations are test-facing asserts
+//! round-closure crates/rrfd-sims/src/digest.rs fp:90f2a6f41f7b3a21  # keys probed, never iterated
+//! panic-family  crates/rrfd-core/src/task.rs   2                    # legacy budget (count)
 //! ```
 //!
-//! More findings than budgeted → failure. Fewer → a ratchet notice
-//! (tighten the budget). Entries matching nothing → an unused notice.
-//! The allowlist can therefore only shrink over time.
+//! A **fingerprinted** entry pins exactly one finding by its span
+//! fingerprint — a hash of the pass, path, and normalized text of the
+//! flagged line (plus an occurrence index), so it survives unrelated
+//! line insertions above it and *expires* the moment the flagged code
+//! changes. A **legacy budget** entry tolerates up to N otherwise
+//! unmatched findings of that pass in that file; budgets are kept for
+//! migration and tests, the committed `lint.allow` is all-fingerprint.
+//!
+//! Findings matching neither kind of entry are violations. Entries
+//! matching nothing are "unused" notices — and hard failures under
+//! `--strict` (the CI default), so the allowlist can only shrink.
 
+use crate::passes::{self, Finding};
+use crate::workspace;
 use rrfd_core::LineError;
-use std::fmt;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// Which lint fired.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum LintKind {
-    /// `.unwrap()` / `.expect(` / `panic!` in library code.
-    PanicFamily,
-    /// `Instant::now` / `SystemTime::now` in a deterministic crate.
-    WallClock,
-    /// `received[` — direct indexing past the suspicion check.
-    DirectIndex,
-    /// `Instant::now` / `SystemTime::now` in an instrumented crate,
-    /// bypassing the `rrfd_obs::Clock` abstraction.
-    ObsClock,
-    /// `msg.clone()` (or `messages[` + `.clone()` on one line) in a
-    /// message-plane crate — a payload deep copy in a delivery loop.
-    MsgClone,
+/// What an allowlist entry tolerates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllowSpec {
+    /// Up to N findings of the pass in the file (legacy, line-count
+    /// style).
+    Budget(usize),
+    /// Exactly the finding with this `fp:…` span fingerprint.
+    Fingerprint(String),
 }
 
-impl LintKind {
-    /// The name used in reports and allowlist files.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            LintKind::PanicFamily => "panic-family",
-            LintKind::WallClock => "wall-clock",
-            LintKind::DirectIndex => "direct-index",
-            LintKind::ObsClock => "obs",
-            LintKind::MsgClone => "msg-clone",
-        }
-    }
-
-    fn parse(token: &str) -> Option<Self> {
-        match token {
-            "panic-family" => Some(LintKind::PanicFamily),
-            "wall-clock" => Some(LintKind::WallClock),
-            "direct-index" => Some(LintKind::DirectIndex),
-            "obs" => Some(LintKind::ObsClock),
-            "msg-clone" => Some(LintKind::MsgClone),
-            _ => None,
-        }
-    }
-}
-
-impl fmt::Display for LintKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// One raw finding: a lint token in non-test library code.
-#[derive(Debug, Clone)]
-pub struct LintFinding {
-    /// Which lint fired.
-    pub kind: LintKind,
-    /// Path relative to the workspace root, `/`-separated.
-    pub path: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// The offending source line, trimmed.
-    pub excerpt: String,
-}
-
-impl fmt::Display for LintFinding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.kind, self.excerpt
-        )
-    }
-}
-
-/// One allowlist entry: a finding budget for `(lint, file)`.
+/// One allowlist entry.
 #[derive(Debug, Clone)]
 pub struct Allowance {
-    /// The budgeted lint.
-    pub kind: LintKind,
-    /// Path relative to the workspace root.
+    /// The pass name (validated against the registry).
+    pub pass: String,
+    /// Workspace-relative path.
     pub path: String,
-    /// How many findings are tolerated.
-    pub budget: usize,
+    /// What the entry tolerates.
+    pub spec: AllowSpec,
 }
 
-/// Parses an allowlist file: one `<lint> <path> <count>` entry per line,
-/// `#` starts a comment, blank lines ignored.
+/// Parses an allowlist: one `<pass> <path> <fp:…|count>` entry per
+/// line, `#` comments, blank lines ignored. Pass names must be
+/// registered passes.
 ///
 /// # Errors
 ///
 /// Returns a [`LineError`] naming the first malformed line.
 pub fn parse_allowlist(text: &str) -> Result<Vec<Allowance>, LineError> {
+    let known = passes::pass_names();
     let mut entries = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -144,20 +75,35 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<Allowance>, LineError> {
         }
         let mut tokens = line.split_whitespace();
         let entry = (|| {
-            let kind = LintKind::parse(tokens.next()?)?;
+            let pass = tokens.next()?;
+            if !known.contains(&pass) {
+                return None;
+            }
             let path = tokens.next()?.to_owned();
-            let budget: usize = tokens.next()?.parse().ok()?;
+            let spec = tokens.next()?;
+            let spec = if let Some(hex) = spec.strip_prefix("fp:") {
+                if hex.len() != 16 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+                    return None;
+                }
+                AllowSpec::Fingerprint(spec.to_owned())
+            } else {
+                AllowSpec::Budget(spec.parse().ok()?)
+            };
             if tokens.next().is_some() {
                 return None;
             }
-            Some(Allowance { kind, path, budget })
+            Some(Allowance {
+                pass: pass.to_owned(),
+                path,
+                spec,
+            })
         })();
         match entry {
             Some(a) => entries.push(a),
             None => {
                 return Err(LineError::new(
                     line_no,
-                    format!("expected `<lint> <path> <count>`, got {line:?}"),
+                    format!("expected `<pass> <path> <fp:16-hex|count>`, got {line:?}"),
                 ))
             }
         }
@@ -168,525 +114,308 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<Allowance>, LineError> {
 /// The outcome of reconciling findings against an allowlist.
 #[derive(Debug, Default)]
 pub struct LintReport {
-    /// Findings exceeding their budget (or with no budget at all). Any
+    /// Findings exceeding their budget, or matched by no entry. Any
     /// entry here means the pass fails.
     pub violations: Vec<String>,
-    /// Non-fatal observations: under-used or unused budgets to ratchet.
+    /// Stale-allowlist observations: unused entries and under-used
+    /// budgets. Failures under `--strict`.
     pub notices: Vec<String>,
 }
 
 impl LintReport {
-    /// `true` when the pass succeeded (notices are allowed).
+    /// `true` when the pass succeeded. Under `strict`, notices fail
+    /// too — an allowlist entry matching nothing is debt bookkeeping
+    /// that must be pruned.
     #[must_use]
-    pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+    pub fn is_clean(&self, strict: bool) -> bool {
+        self.violations.is_empty() && (!strict || self.notices.is_empty())
     }
 }
 
-/// Reconciles raw findings against the allowlist budgets.
+/// Reconciles findings against the allowlist: fingerprint entries pin
+/// individual findings, budget entries cap the unmatched remainder.
 #[must_use]
-pub fn reconcile(findings: &[LintFinding], allowances: &[Allowance]) -> LintReport {
+pub fn reconcile(findings: &[Finding], allowances: &[Allowance]) -> LintReport {
     let mut report = LintReport::default();
-    let budget_of = |kind: LintKind, path: &str| {
-        allowances
-            .iter()
-            .find(|a| a.kind == kind && a.path == path)
-            .map(|a| a.budget)
-    };
-    // Group findings by (kind, path), preserving first-seen order.
-    let mut groups: Vec<(LintKind, &str, Vec<&LintFinding>)> = Vec::new();
+    let mut fp_used = vec![false; allowances.len()];
+    // Group findings by (pass, path), preserving first-seen order.
+    let mut groups: Vec<(&str, &str, Vec<&Finding>)> = Vec::new();
     for finding in findings {
         match groups
             .iter_mut()
-            .find(|(k, p, _)| *k == finding.kind && *p == finding.path)
+            .find(|(k, p, _)| *k == finding.pass && *p == finding.path)
         {
             Some((_, _, list)) => list.push(finding),
-            None => groups.push((finding.kind, &finding.path, vec![finding])),
+            None => groups.push((finding.pass, &finding.path, vec![finding])),
         }
     }
-    for (kind, path, list) in &groups {
-        match budget_of(*kind, path) {
+    for (pass, path, list) in &groups {
+        // Partition: fingerprint-pinned findings are allowed.
+        let mut residual: Vec<&Finding> = Vec::new();
+        for f in list {
+            let pinned = allowances.iter().enumerate().find(|(i, a)| {
+                !fp_used[*i]
+                    && a.pass == *pass
+                    && a.path == *path
+                    && a.spec == AllowSpec::Fingerprint(f.fingerprint.clone())
+            });
+            match pinned {
+                Some((i, _)) => fp_used[i] = true,
+                None => residual.push(f),
+            }
+        }
+        let budget = allowances
+            .iter()
+            .find(|a| a.pass == *pass && a.path == *path && matches!(a.spec, AllowSpec::Budget(_)))
+            .and_then(|a| match a.spec {
+                AllowSpec::Budget(b) => Some(b),
+                AllowSpec::Fingerprint(_) => None,
+            });
+        match budget {
             None => {
-                for f in list {
+                for f in residual {
                     report.violations.push(f.to_string());
                 }
             }
-            Some(budget) if list.len() > budget => {
+            Some(budget) if residual.len() > budget => {
                 report.violations.push(format!(
-                    "{path}: {} `{kind}` findings exceed the allowlisted budget of {budget}:",
-                    list.len()
+                    "{path}: {} `{pass}` findings exceed the allowlisted budget of {budget}:",
+                    residual.len()
                 ));
-                for f in list {
+                for f in residual {
                     report.violations.push(format!("  {f}"));
                 }
             }
-            Some(budget) if list.len() < budget => {
+            Some(budget) if residual.len() < budget => {
                 report.notices.push(format!(
-                    "{path}: only {} `{kind}` findings against a budget of {budget} — \
+                    "{path}: only {} `{pass}` findings against a budget of {budget} — \
                      ratchet the allowlist down",
-                    list.len()
+                    residual.len()
                 ));
             }
             Some(_) => {}
         }
     }
-    for a in allowances {
-        let used = groups.iter().any(|(k, p, _)| *k == a.kind && *p == a.path);
-        if !used {
-            report.notices.push(format!(
-                "unused allowlist entry: {} {} {}",
-                a.kind, a.path, a.budget
-            ));
+    for (i, a) in allowances.iter().enumerate() {
+        match &a.spec {
+            AllowSpec::Fingerprint(fp) => {
+                if !fp_used[i] {
+                    report.notices.push(format!(
+                        "unused allowlist entry: {} {} {fp} — the pinned finding no \
+                         longer exists; prune it",
+                        a.pass, a.path
+                    ));
+                }
+            }
+            AllowSpec::Budget(b) => {
+                let used = groups.iter().any(|(k, p, _)| *k == a.pass && *p == a.path);
+                if !used {
+                    report
+                        .notices
+                        .push(format!("unused allowlist entry: {} {} {b}", a.pass, a.path));
+                }
+            }
         }
     }
     report
 }
 
-/// Scans every `crates/*/src` tree under `root`, excluding `src/bin/`.
+/// Discovers crates under `root`, loads and lexes their sources, and
+/// runs every registered pass. This is `rrfd-analyze lint` minus the
+/// allowlist.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from directory walking and file reads.
-pub fn scan_workspace(root: &Path) -> io::Result<Vec<LintFinding>> {
-    let crates_dir = root.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = Vec::new();
-    for entry in std::fs::read_dir(&crates_dir)? {
-        let path = entry?.path();
-        if path.join("src").is_dir() {
-            crate_dirs.push(path);
-        }
-    }
-    crate_dirs.sort();
-    let mut findings = Vec::new();
-    for crate_dir in crate_dirs {
-        let crate_name = crate_dir
-            .file_name()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        let mut files = Vec::new();
-        collect_rs_files(&crate_dir.join("src"), &mut files)?;
-        files.sort();
-        for file in files {
-            let text = std::fs::read_to_string(&file)?;
-            let rel = relative_display(root, &file);
-            scan_file(&crate_name, &rel, &text, &mut findings);
-        }
-    }
-    Ok(findings)
+/// Propagates I/O errors and malformed fence metadata.
+pub fn scan_root(root: &Path) -> io::Result<Vec<Finding>> {
+    let crates = workspace::discover(root)?;
+    let files = workspace::load_files(root, &crates)?;
+    Ok(passes::run_all(&files))
 }
 
-fn relative_display(root: &Path, file: &Path) -> String {
-    let rel = file.strip_prefix(root).unwrap_or(file);
-    rel.components()
-        .map(|c| c.as_os_str().to_string_lossy().into_owned())
-        .collect::<Vec<_>>()
-        .join("/")
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        if path.is_dir() {
-            // CLIs under src/bin/ may legitimately abort on bad input.
-            if path.file_name().is_some_and(|n| n == "bin") {
-                continue;
-            }
-            collect_rs_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
+/// Renders findings and the reconciliation report as one SARIF-shaped
+/// JSON object (`rrfd-lint v1`): tool, per-finding pass / file / span /
+/// fingerprint / message, violation and notice strings, and the
+/// overall verdict under the given strictness.
+#[must_use]
+pub fn render_json(findings: &[Finding], report: &LintReport, strict: bool) -> String {
+    use crate::jsonout::{esc, str_array};
+    let mut out =
+        String::from("{\n  \"tool\": \"rrfd-analyze lint\",\n  \"format\": \"rrfd-lint v1\",\n");
+    out.push_str(&format!("  \"strict\": {strict},\n"));
+    out.push_str(&format!(
+        "  \"passes\": {},\n",
+        str_array(
+            &passes::pass_names()
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect::<Vec<_>>(),
+        )
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
         }
+        out.push_str(&format!(
+            "\n    {{\"pass\": \"{}\", \"file\": \"{}\", \"span\": {{\"line\": {}, \"col\": {}}}, \
+             \"fingerprint\": \"{}\", \"message\": \"{}\", \"excerpt\": \"{}\"}}",
+            esc(f.pass),
+            esc(&f.path),
+            f.line,
+            f.col,
+            esc(&f.fingerprint),
+            esc(&f.message),
+            esc(&f.excerpt),
+        ));
     }
-    Ok(())
-}
-
-/// Crates whose code must stay deterministic (replayable traces).
-const DETERMINISTIC_CRATES: &[&str] = &["rrfd-core", "rrfd-models", "rrfd-sims", "rrfd-protocols"];
-
-/// Crates whose timing must flow through `rrfd_obs::Clock` rather than
-/// reading the wall clock directly — otherwise metric snapshots stop
-/// being reproducible under the logical clock.
-const INSTRUMENTED_CRATES: &[&str] = &["rrfd-runtime", "rrfd-obs", "rrfd-engine-pool"];
-
-/// Crates carrying the zero-copy message plane: deliveries borrow a
-/// shared emission table (or hold `Arc`s), so payload clones in delivery
-/// loops are regressions, not style. The batch pool is fenced too: its
-/// whole slab/buffer lifecycle exists to avoid per-instance copies.
-const MESSAGE_PLANE_CRATES: &[&str] =
-    &["rrfd-core", "rrfd-runtime", "rrfd-sims", "rrfd-engine-pool"];
-
-/// Scans one file's text, appending findings. Exposed for testing the
-/// scanner on synthetic sources.
-pub fn scan_file(crate_name: &str, rel_path: &str, text: &str, out: &mut Vec<LintFinding>) {
-    let wall_clock_applies = DETERMINISTIC_CRATES.contains(&crate_name);
-    let obs_clock_applies = INSTRUMENTED_CRATES.contains(&crate_name);
-    let msg_clone_applies = MESSAGE_PLANE_CRATES.contains(&crate_name);
-    let mut strip = StripState::default();
-    // Once a `#[cfg(test)]` attribute is seen, skip from its first `{`
-    // until the brace depth returns to zero.
-    let mut pending_test_attr = false;
-    let mut test_depth = 0usize;
-    for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let code = strip_noncode(raw, &mut strip);
-        if code.contains("#[cfg(test)]") {
-            pending_test_attr = true;
-        }
-        if pending_test_attr || test_depth > 0 {
-            let opens = code.matches('{').count();
-            let closes = code.matches('}').count();
-            if pending_test_attr && opens > 0 {
-                pending_test_attr = false;
-                test_depth = opens;
-                test_depth = test_depth.saturating_sub(closes);
-            } else if test_depth > 0 {
-                test_depth += opens;
-                test_depth = test_depth.saturating_sub(closes);
-            }
-            continue;
-        }
-        let mut hit = |kind: LintKind| {
-            out.push(LintFinding {
-                kind,
-                path: rel_path.to_owned(),
-                line: line_no,
-                excerpt: raw.trim().to_owned(),
-            });
-        };
-        if code.contains(".unwrap()") || code.contains(".expect(") || code.contains("panic!") {
-            hit(LintKind::PanicFamily);
-        }
-        let reads_clock = code.contains("Instant::now") || code.contains("SystemTime::now");
-        if wall_clock_applies && reads_clock {
-            hit(LintKind::WallClock);
-        }
-        if obs_clock_applies && reads_clock {
-            hit(LintKind::ObsClock);
-        }
-        if code.contains("received[") {
-            hit(LintKind::DirectIndex);
-        }
-        if msg_clone_applies
-            && (code.contains("msg.clone()")
-                || (code.contains("messages[") && code.contains(".clone()")))
-        {
-            hit(LintKind::MsgClone);
-        }
-    }
-}
-
-/// Scanner state carried across physical lines: block-comment nesting and
-/// whether a string literal (possibly multi-line, with `\` continuations)
-/// is still open.
-#[derive(Default)]
-struct StripState {
-    block_depth: usize,
-    in_string: bool,
-}
-
-/// Removes block comments, line comments, string and char literals from a
-/// line, tracking comment nesting and open strings across lines. What
-/// remains is the code the token matcher may inspect.
-fn strip_noncode(line: &str, state: &mut StripState) -> String {
-    let mut out = String::with_capacity(line.len());
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if state.in_string {
-            // Inside a string literal: skip to the unescaped closing
-            // quote, which may be on a later line. (Raw strings with
-            // embedded quotes are not handled; the workspace does not use
-            // them on lint-relevant lines.)
-            match bytes[i] {
-                b'\\' => i += 2,
-                b'"' => {
-                    state.in_string = false;
-                    i += 1;
-                }
-                _ => i += 1,
-            }
-            continue;
-        }
-        if state.block_depth > 0 {
-            if bytes[i..].starts_with(b"*/") {
-                state.block_depth -= 1;
-                i += 2;
-            } else if bytes[i..].starts_with(b"/*") {
-                state.block_depth += 1;
-                i += 2;
-            } else {
-                i += 1;
-            }
-            continue;
-        }
-        if bytes[i..].starts_with(b"//") {
-            break; // line comment: rest of the line is not code
-        }
-        if bytes[i..].starts_with(b"/*") {
-            state.block_depth += 1;
-            i += 2;
-            continue;
-        }
-        match bytes[i] {
-            b'"' => {
-                state.in_string = true;
-                i += 1;
-            }
-            b'\'' => {
-                // Char literal ('x', '\n', '\'') vs lifetime ('a in `&'a`).
-                // A literal closes with a quote within a few bytes.
-                let rest = &bytes[i + 1..];
-                let close = if rest.first() == Some(&b'\\') {
-                    rest.iter().skip(1).position(|&b| b == b'\'').map(|p| p + 1)
-                } else {
-                    (rest.get(1) == Some(&b'\'')).then_some(1)
-                };
-                match close {
-                    Some(offset) => i += offset + 2, // skip the whole literal
-                    None => {
-                        out.push('\''); // lifetime: keep and move on
-                        i += 1;
-                    }
-                }
-            }
-            b => {
-                out.push(b as char);
-                i += 1;
-            }
-        }
-    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"violations\": {},\n",
+        str_array(&report.violations)
+    ));
+    out.push_str(&format!("  \"notices\": {},\n", str_array(&report.notices)));
+    out.push_str(&format!("  \"clean\": {}\n}}\n", report.is_clean(strict)));
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::passes::fingerprint;
 
-    fn scan(text: &str) -> Vec<LintFinding> {
-        let mut out = Vec::new();
-        scan_file("rrfd-core", "crates/rrfd-core/src/x.rs", text, &mut out);
-        out
-    }
-
-    #[test]
-    fn flags_the_panic_family() {
-        let found = scan(
-            "fn f() {\n    let x = y.unwrap();\n    z.expect(\"boom\");\n    panic!(\"no\");\n}\n",
-        );
-        assert_eq!(found.len(), 3);
-        assert!(found.iter().all(|f| f.kind == LintKind::PanicFamily));
-        assert_eq!(found[0].line, 2);
-    }
-
-    #[test]
-    fn comments_and_strings_are_not_code() {
-        let found = scan(
-            "// a.unwrap() in a comment\n\
-             /* panic!(\"nope\") */\n\
-             let s = \".unwrap()\";\n\
-             /// docs may say panic! freely\n",
-        );
-        assert!(found.is_empty(), "{found:?}");
-    }
-
-    #[test]
-    fn multiline_block_comments_are_skipped() {
-        let found = scan("/*\n x.unwrap()\n panic!()\n*/\nfn ok() {}\n");
-        assert!(found.is_empty(), "{found:?}");
-    }
-
-    #[test]
-    fn test_modules_are_exempt() {
-        let found = scan(
-            "fn lib() {}\n\
-             #[cfg(test)]\n\
-             mod tests {\n\
-                 fn t() { x.unwrap(); }\n\
-             }\n\
-             fn after() { y.unwrap(); }\n",
-        );
-        assert_eq!(found.len(), 1, "{found:?}");
-        assert_eq!(found[0].line, 6);
-    }
-
-    #[test]
-    fn multiline_strings_stay_strings() {
-        // A string continued across lines must not leak its contents —
-        // including a `#[cfg(test)]` inside it — into the code channel.
-        let found = scan(
-            "let s = \"first line \\\n     #[cfg(test)] \\\n     .unwrap() end\";\nx.unwrap();\n",
-        );
-        assert_eq!(found.len(), 1, "{found:?}");
-        assert_eq!(found[0].line, 4);
-    }
-
-    #[test]
-    fn char_literals_do_not_eat_the_line() {
-        // The ',' literal must not open a "string" that hides the unwrap.
-        let found = scan("let c = ','; x.unwrap();\n");
-        assert_eq!(found.len(), 1);
-        // And lifetimes must not either.
-        let found = scan("fn f<'a>(x: &'a T) { x.unwrap(); }\n");
-        assert_eq!(found.len(), 1);
-    }
-
-    #[test]
-    fn wall_clock_only_fires_in_deterministic_crates() {
-        let mut out = Vec::new();
-        scan_file(
-            "rrfd-sims",
-            "crates/rrfd-sims/src/x.rs",
-            "Instant::now()\n",
-            &mut out,
-        );
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].kind, LintKind::WallClock);
-        let mut out = Vec::new();
-        scan_file(
-            "rrfd-protocols",
-            "crates/rrfd-protocols/src/x.rs",
-            "SystemTime::now()\n",
-            &mut out,
-        );
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].kind, LintKind::WallClock);
-    }
-
-    #[test]
-    fn obs_clock_only_fires_in_instrumented_crates() {
-        // Runtime and obs code must route time through `rrfd_obs::Clock`.
-        let mut out = Vec::new();
-        scan_file(
-            "rrfd-runtime",
-            "crates/rrfd-runtime/src/x.rs",
-            "Instant::now()\n",
-            &mut out,
-        );
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].kind, LintKind::ObsClock);
-        let mut out = Vec::new();
-        scan_file(
-            "rrfd-obs",
-            "crates/rrfd-obs/src/x.rs",
-            "SystemTime::now()\n",
-            &mut out,
-        );
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].kind, LintKind::ObsClock);
-        // Crates outside both lists stay unrestricted.
-        let mut out = Vec::new();
-        scan_file(
-            "rrfd-bench",
-            "crates/rrfd-bench/src/x.rs",
-            "Instant::now()\n",
-            &mut out,
-        );
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn direct_indexing_is_flagged() {
-        let found = scan("let m = d.received[j];\n");
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].kind, LintKind::DirectIndex);
-    }
-
-    #[test]
-    fn msg_clones_only_fire_in_message_plane_crates() {
-        // Both trigger shapes, inside the fence (scan() targets rrfd-core).
-        let found = scan("out.push(msg.clone());\n");
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].kind, LintKind::MsgClone);
-        let found = scan("let m = messages[j].clone();\n");
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].kind, LintKind::MsgClone);
-        // Reading the table without cloning is the whole point — clean.
-        let found = scan("let m = &messages[j];\n");
-        assert!(found.is_empty(), "{found:?}");
-        // Outside the fence (bench crate hosts the sanctioned clone plane).
-        let mut out = Vec::new();
-        scan_file(
-            "rrfd-bench",
-            "crates/rrfd-bench/src/x.rs",
-            "out.push(msg.clone());\n",
-            &mut out,
-        );
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn allowlist_parses_and_rejects_garbage() {
-        let entries = parse_allowlist(
-            "# header comment\n\
-             \n\
-             panic-family crates/rrfd-core/src/task.rs 2  # asserts\n\
-             wall-clock crates/rrfd-sims/src/x.rs 1\n",
-        )
-        .unwrap();
-        assert_eq!(entries.len(), 2);
-        assert_eq!(entries[0].budget, 2);
-        let err = parse_allowlist("panic-family only-two\n").unwrap_err();
-        assert_eq!(err.line, 1);
-        assert!(parse_allowlist("mystery-lint a/b.rs 1\n").is_err());
-    }
-
-    fn finding(kind: LintKind, path: &str) -> LintFinding {
-        LintFinding {
-            kind,
+    fn finding(pass: &'static str, path: &str, norm: &str, occ: usize) -> Finding {
+        Finding {
+            pass,
             path: path.to_owned(),
             line: 1,
-            excerpt: "x".to_owned(),
+            col: 1,
+            message: "m".to_owned(),
+            excerpt: norm.to_owned(),
+            fingerprint: fingerprint(pass, path, norm, occ),
         }
     }
 
     #[test]
-    fn reconcile_enforces_budgets() {
-        let f = vec![
-            finding(LintKind::PanicFamily, "a.rs"),
-            finding(LintKind::PanicFamily, "a.rs"),
+    fn allowlist_parses_both_entry_kinds_and_rejects_garbage() {
+        let entries = parse_allowlist(
+            "# header comment\n\
+             \n\
+             panic-family crates/rrfd-core/src/task.rs 2  # budget\n\
+             round-closure crates/rrfd-sims/src/digest.rs fp:0123456789abcdef\n",
+        )
+        .unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].spec, AllowSpec::Budget(2));
+        assert_eq!(
+            entries[1].spec,
+            AllowSpec::Fingerprint("fp:0123456789abcdef".to_owned())
+        );
+        let err = parse_allowlist("panic-family only-two\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(parse_allowlist("mystery-pass a/b.rs 1\n").is_err());
+        assert!(parse_allowlist("panic-family a/b.rs fp:short\n").is_err());
+        assert!(parse_allowlist("panic-family a/b.rs fp:0123456789abcdeg\n").is_err());
+    }
+
+    #[test]
+    fn fingerprint_entries_pin_individual_findings() {
+        let f1 = finding("panic-family", "a.rs", "x.unwrap();", 0);
+        let f2 = finding("panic-family", "a.rs", "y.unwrap();", 0);
+        let allow = vec![Allowance {
+            pass: "panic-family".to_owned(),
+            path: "a.rs".to_owned(),
+            spec: AllowSpec::Fingerprint(f1.fingerprint.clone()),
+        }];
+        let report = reconcile(&[f1.clone(), f2.clone()], &allow);
+        // f1 pinned, f2 unmatched.
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains(&f2.fingerprint), "{report:?}");
+        assert!(report.notices.is_empty(), "{report:?}");
+        // Both pinned: clean, no notices.
+        let allow2 = vec![
+            allow[0].clone(),
+            Allowance {
+                pass: "panic-family".to_owned(),
+                path: "a.rs".to_owned(),
+                spec: AllowSpec::Fingerprint(f2.fingerprint.clone()),
+            },
         ];
-        // No budget: both are violations.
+        let report2 = reconcile(&[f1, f2], &allow2);
+        assert!(report2.is_clean(true), "{report2:?}");
+    }
+
+    #[test]
+    fn stale_fingerprints_are_notices_and_strict_failures() {
+        let allow = vec![Allowance {
+            pass: "panic-family".to_owned(),
+            path: "a.rs".to_owned(),
+            spec: AllowSpec::Fingerprint("fp:00000000000000aa".to_owned()),
+        }];
+        let report = reconcile(&[], &allow);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.notices.len(), 1);
+        assert!(report.notices[0].contains("unused"), "{report:?}");
+        assert!(report.is_clean(false));
+        assert!(!report.is_clean(true));
+    }
+
+    #[test]
+    fn budgets_keep_legacy_semantics() {
+        let f = vec![
+            finding("panic-family", "a.rs", "x.unwrap();", 0),
+            finding("panic-family", "a.rs", "x.unwrap();", 1),
+        ];
+        let budget = |b: usize| {
+            vec![Allowance {
+                pass: "panic-family".to_owned(),
+                path: "a.rs".to_owned(),
+                spec: AllowSpec::Budget(b),
+            }]
+        };
         assert_eq!(reconcile(&f, &[]).violations.len(), 2);
-        // Exact budget: clean, no notices.
-        let exact = reconcile(
-            &f,
-            &[Allowance {
-                kind: LintKind::PanicFamily,
+        let exact = reconcile(&f, &budget(2));
+        assert!(exact.is_clean(true), "{exact:?}");
+        let over = reconcile(&f, &budget(1));
+        assert!(!over.is_clean(false));
+        let under = reconcile(&f, &budget(5));
+        assert!(under.is_clean(false) && !under.is_clean(true));
+        assert!(under.notices[0].contains("ratchet"), "{under:?}");
+        let unused = reconcile(&[], &budget(1));
+        assert!(unused.notices[0].contains("unused"), "{unused:?}");
+    }
+
+    #[test]
+    fn fingerprints_and_budgets_compose() {
+        // One pinned finding plus one budgeted stranger: clean.
+        let f1 = finding("panic-family", "a.rs", "x.unwrap();", 0);
+        let f2 = finding("panic-family", "a.rs", "y.unwrap();", 0);
+        let allow = vec![
+            Allowance {
+                pass: "panic-family".to_owned(),
                 path: "a.rs".to_owned(),
-                budget: 2,
-            }],
-        );
-        assert!(exact.is_clean() && exact.notices.is_empty(), "{exact:?}");
-        // Over budget: fails, listing the findings.
-        let over = reconcile(
-            &f,
-            &[Allowance {
-                kind: LintKind::PanicFamily,
+                spec: AllowSpec::Fingerprint(f1.fingerprint.clone()),
+            },
+            Allowance {
+                pass: "panic-family".to_owned(),
                 path: "a.rs".to_owned(),
-                budget: 1,
-            }],
-        );
-        assert!(!over.is_clean());
-        // Under budget: clean but nags to ratchet.
-        let under = reconcile(
-            &f,
-            &[Allowance {
-                kind: LintKind::PanicFamily,
-                path: "a.rs".to_owned(),
-                budget: 5,
-            }],
-        );
-        assert!(under.is_clean());
-        assert_eq!(under.notices.len(), 1);
-        // Unused entries surface as notices.
-        let unused = reconcile(
-            &[],
-            &[Allowance {
-                kind: LintKind::WallClock,
-                path: "b.rs".to_owned(),
-                budget: 1,
-            }],
-        );
-        assert!(unused.is_clean());
-        assert!(unused.notices[0].contains("unused"));
+                spec: AllowSpec::Budget(1),
+            },
+        ];
+        let report = reconcile(&[f1, f2], &allow);
+        assert!(report.is_clean(true), "{report:?}");
+    }
+
+    #[test]
+    fn json_output_is_shaped_and_escaped() {
+        let f = finding("panic-family", "a\"b.rs", "x.unwrap();", 0);
+        let report = reconcile(std::slice::from_ref(&f), &[]);
+        let json = render_json(&[f], &report, true);
+        assert!(json.contains("\"tool\": \"rrfd-analyze lint\""));
+        assert!(json.contains("\"file\": \"a\\\"b.rs\""));
+        assert!(json.contains("\"fingerprint\": \"fp:"));
+        assert!(json.contains("\"clean\": false"));
+        // Parses under the workspace's own JSON parser.
+        assert!(rrfd_obs::json::parse(&json).is_ok());
     }
 }

@@ -1,0 +1,450 @@
+//! The `lock-order` pass: build a static lock-acquisition graph from
+//! nested `Mutex`/`RwLock` guard scopes across the instrumented crates
+//! and report cycles as potential deadlocks.
+//!
+//! **Acquisition sites.** A call `recv.lock()`, `recv.read()` or
+//! `recv.write()` with an empty argument list is an acquisition (the
+//! empty-args requirement keeps `io::Read::read(&mut buf)` and friends
+//! out). The lock's identity is `crate::receiver-chain` with index and
+//! call-argument groups stripped, so `self.shards[i].lock()` and
+//! `self.shards[j].lock()` are the *same* node — which is also why
+//! self-edges are dropped: two acquisitions of one node may be two
+//! distinct elements of a sharded array, not a re-entrant deadlock.
+//!
+//! **Guard scopes.** A `let`-bound guard is held until its enclosing
+//! block closes; an unbound (temporary) guard until the end of its
+//! statement. While any guard is held, each further acquisition adds a
+//! `held → acquired` edge. This over-approximates lifetimes (early
+//! `drop(guard)` is not modelled), so the graph has false edges but no
+//! missing ones: an acyclic graph really is deadlock-free under this
+//! syntax, a cycle is a *potential* deadlock to justify or fix.
+//!
+//! **Cycles.** After all files are visited, any edge `a → b` where `b`
+//! reaches `a` is reported once per distinct cycle node-set, with the
+//! full path in the message.
+
+use super::{Pass, RawFinding};
+use crate::syntax::SourceFile;
+use crate::workspace::Fence;
+
+/// One lock-acquisition-order edge: `from` was held when `to` was
+/// acquired at the recorded site.
+#[derive(Debug, Clone)]
+struct LockEdge {
+    from: String,
+    to: String,
+    path: String,
+    line: usize,
+    col: usize,
+    excerpt: String,
+}
+
+/// The deadlock-cycle detector. Stateful: edges accumulate across
+/// files and cycles are reported from [`Pass::finish`].
+#[derive(Default)]
+pub struct LockOrder {
+    edges: Vec<LockEdge>,
+}
+
+impl Pass for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+    fn description(&self) -> &'static str {
+        "nested lock acquisitions must form an acyclic order across the instrumented crates"
+    }
+    fn visit(&mut self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let _ = out; // findings are emitted from `finish`
+        if !file.fenced(Fence::Instrumented) {
+            return;
+        }
+        let mut fns = Vec::new();
+        collect_fn_scopes(&file.root, file, &mut fns);
+        for (open, close) in fns {
+            self.scan_fn(file, open, close);
+        }
+    }
+    fn finish(&mut self, out: &mut Vec<RawFinding>) {
+        let nodes: Vec<&str> = {
+            let mut v: Vec<&str> = self
+                .edges
+                .iter()
+                .flat_map(|e| [e.from.as_str(), e.to.as_str()])
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let index_of = |name: &str| nodes.iter().position(|&n| n == name);
+        let mut adj = vec![Vec::new(); nodes.len()];
+        for e in &self.edges {
+            let (Some(a), Some(b)) = (index_of(&e.from), index_of(&e.to)) else {
+                continue;
+            };
+            if !adj[a].contains(&b) {
+                adj[a].push(b);
+            }
+        }
+        let mut reported: Vec<Vec<usize>> = Vec::new();
+        for e in &self.edges {
+            let (Some(a), Some(b)) = (index_of(&e.from), index_of(&e.to)) else {
+                continue;
+            };
+            let Some(path_back) = shortest_path(&adj, b, a) else {
+                continue;
+            };
+            // The cycle is a → b → … → a; canonicalize by node set.
+            let mut cycle_nodes: Vec<usize> = vec![a, b];
+            cycle_nodes.extend(&path_back);
+            cycle_nodes.sort_unstable();
+            cycle_nodes.dedup();
+            if reported.contains(&cycle_nodes) {
+                continue;
+            }
+            reported.push(cycle_nodes);
+            let mut rendered: Vec<&str> = vec![nodes[a], nodes[b]];
+            rendered.extend(path_back.iter().map(|&i| nodes[i]));
+            out.push(RawFinding {
+                pass: self.name(),
+                path: e.path.clone(),
+                line: e.line,
+                col: e.col,
+                message: format!(
+                    "potential deadlock: lock-order cycle {}",
+                    rendered.join(" → ")
+                ),
+                excerpt: e.excerpt.clone(),
+            });
+        }
+    }
+}
+
+impl LockOrder {
+    /// Walks one function body, tracking held guards by block depth.
+    fn scan_fn(&mut self, file: &SourceFile, open: usize, close: usize) {
+        struct Held {
+            depth: i32,
+            until_stmt: bool,
+            id: String,
+        }
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 0i32;
+        let close = close.min(file.tokens.len());
+        for i in open + 1..close {
+            if file.in_test.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            if file.is_punct(i, b'{') {
+                depth += 1;
+            } else if file.is_punct(i, b'}') {
+                depth -= 1;
+                held.retain(|h| h.depth <= depth);
+            } else if file.is_punct(i, b';') {
+                held.retain(|h| !(h.until_stmt && h.depth == depth));
+            } else if file.is_punct(i, b'.')
+                && (file.is_ident(i + 1, "lock")
+                    || file.is_ident(i + 1, "read")
+                    || file.is_ident(i + 1, "write"))
+                && file.is_punct(i + 2, b'(')
+                && file.is_punct(i + 3, b')')
+            {
+                let Some(receiver) = receiver_chain(file, i, open) else {
+                    continue;
+                };
+                let id = format!("{}::{receiver}", file.crate_name);
+                let span = file.tokens[i + 1].span;
+                for h in &held {
+                    if h.id != id {
+                        self.edges.push(LockEdge {
+                            from: h.id.clone(),
+                            to: id.clone(),
+                            path: file.path.clone(),
+                            line: span.line,
+                            col: span.col,
+                            excerpt: file.line_text(span.line).to_owned(),
+                        });
+                    }
+                }
+                held.push(Held {
+                    depth,
+                    until_stmt: !statement_is_let(file, i, open),
+                    id,
+                });
+            }
+        }
+    }
+}
+
+/// Finds every `fn` scope, without descending into one to look for
+/// nested functions (closure braces inside a body are scanned by the
+/// linear walk, not treated as separate functions).
+fn collect_fn_scopes(
+    scope: &crate::syntax::Scope,
+    file: &SourceFile,
+    out: &mut Vec<(usize, usize)>,
+) {
+    for child in &scope.children {
+        let is_fn = (child.header_lo..child.open).any(|i| file.is_ident(i, "fn"));
+        if is_fn {
+            out.push((child.open, child.close));
+        } else {
+            collect_fn_scopes(child, file, out);
+        }
+    }
+}
+
+/// Walks back from the `.` of an acquisition, collecting the receiver
+/// chain (`self.shards[i]` → `self.shards`). Index `[…]` and call
+/// `(…)` groups are skipped; the chain stops at anything that is not
+/// an identifier, `.`, or `::`.
+fn receiver_chain(file: &SourceFile, dot: usize, fn_open: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut k = dot; // token index just after the current element
+    loop {
+        if k <= fn_open {
+            break;
+        }
+        let j = k - 1;
+        if file.is_punct(j, b']') || file.is_punct(j, b')') {
+            // Skip the bracket group backwards.
+            let (open_b, close_b) = if file.is_punct(j, b']') {
+                (b'[', b']')
+            } else {
+                (b'(', b')')
+            };
+            let mut depth = 0i32;
+            let mut m = j;
+            loop {
+                if file.is_punct(m, close_b) {
+                    depth += 1;
+                } else if file.is_punct(m, open_b) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if m == 0 || m <= fn_open {
+                    return None;
+                }
+                m -= 1;
+            }
+            k = m;
+            continue;
+        }
+        if matches!(
+            file.tokens.get(j).map(|t| t.kind),
+            Some(crate::syntax::TokenKind::Ident)
+        ) {
+            parts.push(file.tok_text(j).to_owned());
+            k = j;
+            // Continue only through `.` or `::` separators.
+            if k > fn_open + 1 && file.is_punct(k - 1, b'.') {
+                k -= 1;
+                continue;
+            }
+            if k > fn_open + 2 && file.is_punct(k - 1, b':') && file.is_punct(k - 2, b':') {
+                parts.push("::".to_owned());
+                k -= 2;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    let mut rendered = String::new();
+    for part in parts {
+        if part == "::" {
+            rendered.push_str("::");
+        } else {
+            if !(rendered.is_empty() || rendered.ends_with("::")) {
+                rendered.push('.');
+            }
+            rendered.push_str(&part);
+        }
+    }
+    Some(rendered)
+}
+
+/// `true` when the statement containing token `i` starts with `let`
+/// (the guard is bound and lives to the end of the block).
+fn statement_is_let(file: &SourceFile, i: usize, fn_open: usize) -> bool {
+    let mut j = i;
+    while j > fn_open {
+        let k = j - 1;
+        if file.is_punct(k, b';') || file.is_punct(k, b'{') || file.is_punct(k, b'}') {
+            break;
+        }
+        j = k;
+    }
+    file.is_ident(j, "let")
+        || (file.is_ident(j, "if") || file.is_ident(j, "while")) && file.is_ident(j + 1, "let")
+}
+
+/// BFS shortest path from `from` to `to`; returns the node sequence
+/// *after* `from` up to and including `to`.
+fn shortest_path(adj: &[Vec<usize>], from: usize, to: usize) -> Option<Vec<usize>> {
+    let mut prev: Vec<Option<usize>> = vec![None; adj.len()];
+    let mut queue = std::collections::VecDeque::from([from]);
+    let mut seen = vec![false; adj.len()];
+    seen[from] = true;
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while let Some(p) = prev[cur] {
+                path.push(p);
+                cur = p;
+            }
+            path.pop(); // drop `from` itself
+            path.reverse();
+            return Some(path);
+        }
+        for &next in &adj[n] {
+            if !seen[next] {
+                seen[next] = true;
+                prev[next] = Some(n);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::passes::run_all;
+    use crate::syntax::SourceFile;
+    use crate::workspace::Fence;
+
+    fn check(src: &str) -> Vec<String> {
+        let file = SourceFile::parse(
+            "rt",
+            "crates/rt/src/x.rs",
+            &[Fence::Instrumented],
+            src.to_owned(),
+        );
+        run_all(&[file])
+            .into_iter()
+            .filter(|f| f.pass == "lock-order")
+            .map(|f| f.message)
+            .collect()
+    }
+
+    #[test]
+    fn opposite_order_acquisitions_form_a_cycle() {
+        let got = check(
+            "impl S {\n\
+             fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+             fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); }\n\
+             }\n",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(
+            got[0].contains("rt::self.a → rt::self.b → rt::self.a"),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let got = check(
+            "impl S {\n\
+             fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+             fn also_ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+             }\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn guards_release_at_block_end() {
+        // The `a` guard dies with its block before `b` is taken — no
+        // nesting, no edge, no cycle even with the reverse order later.
+        let got = check(
+            "impl S {\n\
+             fn ab(&self) { { let g = self.a.lock(); } let h = self.b.lock(); }\n\
+             fn ba(&self) { { let g = self.b.lock(); } let h = self.a.lock(); }\n\
+             }\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn temporary_guards_release_at_statement_end() {
+        let got = check(
+            "impl S {\n\
+             fn ab(&self) { self.a.lock().push(1); let h = self.b.lock(); }\n\
+             fn ba(&self) { self.b.lock().push(1); let h = self.a.lock(); }\n\
+             }\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn nested_temporaries_in_one_statement_do_nest() {
+        let got = check(
+            "impl S {\n\
+             fn ab(&self) { self.a.lock().merge(self.b.lock()); }\n\
+             fn ba(&self) { self.b.lock().merge(self.a.lock()); }\n\
+             }\n",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+    }
+
+    #[test]
+    fn sharded_self_acquisitions_are_not_self_deadlocks() {
+        let got = check(
+            "impl S {\n\
+             fn mv(&self, i: usize, j: usize) {\n\
+                 let a = self.shards[i].lock();\n\
+                 let b = self.shards[j].lock();\n\
+             }\n\
+             }\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn three_party_cycles_are_found_across_functions() {
+        let got = check(
+            "impl S {\n\
+             fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+             fn bc(&self) { let g = self.b.lock(); let h = self.c.lock(); }\n\
+             fn ca(&self) { let g = self.c.lock(); let h = self.a.lock(); }\n\
+             }\n",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("→"), "{got:?}");
+    }
+
+    #[test]
+    fn io_style_read_write_calls_are_not_acquisitions() {
+        let got = check(
+            "fn f(mut r: impl std::io::Read) {\n\
+             let g = LOCK.lock();\n\
+             let mut buf = [0u8; 4];\n\
+             let n = r.read(&mut buf);\n\
+             }\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn unfenced_crates_are_ignored() {
+        let file = SourceFile::parse(
+            "plain",
+            "crates/plain/src/x.rs",
+            &[],
+            "impl S {\n\
+             fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); }\n\
+             fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); }\n\
+             }\n"
+            .to_owned(),
+        );
+        assert!(run_all(&[file]).iter().all(|f| f.pass != "lock-order"));
+    }
+}

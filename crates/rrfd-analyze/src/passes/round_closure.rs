@@ -1,0 +1,421 @@
+//! The `round-closure` pass: statically verify that `RoundProtocol`
+//! implementations are **communication-closed** in the sense of
+//! Damian–Drăgoi–Militaru–Widder (arXiv:1804.07078).
+//!
+//! The paper's round-local proof obligations (`S(i,r)`/`D(i,r)` views)
+//! are only sound if no state or message crosses a round boundary
+//! outside the typed knowledge/message path. Three rule families
+//! enforce that syntactically:
+//!
+//! 1. **Delivery escape** (fence: `protocol`) — a `Delivery` (or a raw
+//!    `&[Option<…>]` emission table) stored in a struct field, returned
+//!    from a method, or captured by a `move` closure outlives the round
+//!    method that received it, smuggling round-`r` messages into round
+//!    `r+1`.
+//! 2. **Interior mutability** (fence: `protocol`) — `RefCell`, `Cell`,
+//!    `UnsafeCell`, `static mut`, `thread_local!` and `lazy_static`
+//!    -style globals create channels around the round structure that
+//!    the communication-closure argument cannot see.
+//! 3. **Hash-order nondeterminism** (fence: `deterministic`) —
+//!    `HashMap`/`HashSet` iteration order varies per process and per
+//!    run, so any round output derived from it breaks replayable
+//!    traces. Use `BTreeMap`/`BTreeSet`, index-keyed `Vec`s, or carry a
+//!    fingerprinted `lint.allow` entry justifying why the order never
+//!    reaches an output.
+
+use super::{Pass, RawFinding};
+use crate::syntax::{Scope, SourceFile};
+use crate::workspace::Fence;
+
+/// The communication-closure checker. See the module docs.
+pub struct RoundClosure;
+
+impl Pass for RoundClosure {
+    fn name(&self) -> &'static str {
+        "round-closure"
+    }
+    fn description(&self) -> &'static str {
+        "RoundProtocol impls must be communication-closed (arXiv:1804.07078): \
+         no delivery escapes, interior mutability, or hash-order nondeterminism"
+    }
+    fn visit(&mut self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        if file.fenced(Fence::Protocol) {
+            self.check_escapes(file, out);
+            self.check_interior_mutability(file, out);
+        }
+        if file.fenced(Fence::Deterministic) {
+            self.check_hash_order(file, out);
+        }
+    }
+}
+
+impl RoundClosure {
+    fn hit(&self, file: &SourceFile, tok: usize, message: String, out: &mut Vec<RawFinding>) {
+        let span = file.tokens[tok].span;
+        out.push(RawFinding {
+            pass: self.name(),
+            path: file.path.clone(),
+            line: span.line,
+            col: span.col,
+            message,
+            excerpt: file.line_text(span.line).to_owned(),
+        });
+    }
+
+    /// Rule 1: deliveries escaping their round method.
+    fn check_escapes(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        let mut scopes: Vec<&Scope> = Vec::new();
+        crate::syntax::walk(&file.root, &mut |s| scopes.push(s));
+        for scope in scopes {
+            if scope.open == usize::MAX || file.in_test.get(scope.open).copied().unwrap_or(false) {
+                continue;
+            }
+            let header: Vec<&str> = (scope.header_lo..scope.open)
+                .map(|i| file.tok_text(i))
+                .collect();
+            if header.contains(&"struct") || header.contains(&"enum") {
+                self.check_type_body(file, scope, out);
+            } else if header.contains(&"fn") {
+                self.check_fn(file, scope, &header, out);
+            }
+        }
+    }
+
+    /// Struct/enum bodies must not hold deliveries or emission tables.
+    fn check_type_body(&self, file: &SourceFile, scope: &Scope, out: &mut Vec<RawFinding>) {
+        let close = scope.close.min(file.tokens.len());
+        for i in scope.open + 1..close {
+            if file.is_ident(i, "Delivery") {
+                self.hit(
+                    file,
+                    i,
+                    "a `Delivery` stored in a type escapes its round method — \
+                     rounds must be communication-closed"
+                        .to_owned(),
+                    out,
+                );
+            } else if file.is_punct(i, b'&') && {
+                // Optional lifetime between `&` and the slice: `&'a [Option<M>]`.
+                let j = if matches!(
+                    file.tokens.get(i + 1).map(|t| &t.kind),
+                    Some(crate::syntax::TokenKind::Lifetime)
+                ) {
+                    i + 2
+                } else {
+                    i + 1
+                };
+                file.is_punct(j, b'[')
+                    && file.is_ident(j + 1, "Option")
+                    && file.is_punct(j + 2, b'<')
+            } {
+                self.hit(
+                    file,
+                    i,
+                    "a borrowed emission table (`&[Option<…>]`) stored in a type \
+                     escapes its round — rounds must be communication-closed"
+                        .to_owned(),
+                    out,
+                );
+            }
+        }
+    }
+
+    /// Round methods must not return deliveries or move them into
+    /// closures that outlive the call.
+    fn check_fn(
+        &self,
+        file: &SourceFile,
+        scope: &Scope,
+        header: &[&str],
+        out: &mut Vec<RawFinding>,
+    ) {
+        // Return type: anything after `->` mentioning Delivery.
+        if let Some(arrow) = header.windows(2).position(|w| w == ["-", ">"]) {
+            if header[arrow + 2..].contains(&"Delivery") {
+                self.hit(
+                    file,
+                    scope.header_lo,
+                    "a round method returns a `Delivery` — round-`r` messages \
+                     must not outlive round `r`"
+                        .to_owned(),
+                    out,
+                );
+            }
+        }
+        // Find the Delivery-typed parameter's binding name, if any.
+        let Some(delivery_pos) = header.iter().position(|&t| t == "Delivery") else {
+            return;
+        };
+        // Header shape: `… binding : Delivery < … > …` — the binding is
+        // the identifier before the `:` preceding `Delivery`.
+        let binding = header[..delivery_pos]
+            .iter()
+            .rposition(|&t| t == ":")
+            .and_then(|colon| header[..colon].last())
+            .filter(|name| {
+                name.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+            });
+        let Some(binding) = binding else {
+            return;
+        };
+        let close = scope.close.min(file.tokens.len());
+        let mut i = scope.open + 1;
+        while i < close {
+            if file.is_ident(i, "move") {
+                let extent_end = closure_extent(file, i + 1, close);
+                for j in i + 1..extent_end {
+                    if file.is_ident(j, binding) {
+                        self.hit(
+                            file,
+                            j,
+                            format!(
+                                "the round delivery `{binding}` is captured by a `move` \
+                                 closure — it may outlive the round method"
+                            ),
+                            out,
+                        );
+                        break;
+                    }
+                }
+                i = extent_end;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Rule 2: interior mutability in protocol crates.
+    fn check_interior_mutability(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        for i in 0..file.tokens.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            let message = if file.is_ident(i, "RefCell") || file.is_ident(i, "UnsafeCell") {
+                Some(format!(
+                    "`{}` in a protocol crate — interior mutability bypasses the \
+                     round-local knowledge path",
+                    file.tok_text(i)
+                ))
+            } else if file.is_ident(i, "Cell") && file.is_punct(i + 1, b'<') {
+                Some(
+                    "`Cell<…>` in a protocol crate — interior mutability bypasses the \
+                     round-local knowledge path"
+                        .to_owned(),
+                )
+            } else if file.is_ident(i, "thread_local") && file.is_punct(i + 1, b'!') {
+                Some("`thread_local!` global state in a protocol crate".to_owned())
+            } else if file.is_ident(i, "lazy_static") {
+                Some("`lazy_static`-style global state in a protocol crate".to_owned())
+            } else if file.is_ident(i, "static") && file.is_ident(i + 1, "mut") {
+                Some("`static mut` global state in a protocol crate".to_owned())
+            } else {
+                None
+            };
+            if let Some(message) = message {
+                self.hit(file, i, message, out);
+            }
+        }
+    }
+
+    /// Rule 3: hash-order nondeterminism in deterministic crates.
+    fn check_hash_order(&self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        for i in 0..file.tokens.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            if file.is_ident(i, "HashMap") || file.is_ident(i, "HashSet") {
+                self.hit(
+                    file,
+                    i,
+                    format!(
+                        "`{}` in a deterministic crate — iteration order is \
+                         nondeterministic; use a BTree collection or justify the \
+                         entry in lint.allow",
+                        file.tok_text(i)
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Given the token after `move`, returns one past the end of the
+/// closure expression: past the `|params|`, then either the matching
+/// `}` of a brace body or the end of the expression (a `;`/`,`/`)` at
+/// the closure's own bracket depth).
+fn closure_extent(file: &SourceFile, mut i: usize, close: usize) -> usize {
+    // Skip to the opening `|`, then past the parameter list.
+    while i < close && !file.is_punct(i, b'|') {
+        // `move` not followed by a closure (e.g. an identifier named
+        // move is impossible, but `async move {` is): treat a `{` as
+        // the body directly.
+        if file.is_punct(i, b'{') {
+            return match_brace(file, i, close);
+        }
+        i += 1;
+    }
+    if i >= close {
+        return close;
+    }
+    i += 1; // past the opening `|`
+    while i < close && !file.is_punct(i, b'|') {
+        i += 1;
+    }
+    i += 1; // past the closing `|`
+    if i < close && file.is_punct(i, b'{') {
+        return match_brace(file, i, close);
+    }
+    // Expression body: scan to the end of the expression.
+    let mut depth = 0i32;
+    while i < close {
+        match () {
+            () if file.is_punct(i, b'(') || file.is_punct(i, b'[') || file.is_punct(i, b'{') => {
+                depth += 1;
+            }
+            () if file.is_punct(i, b')') || file.is_punct(i, b']') || file.is_punct(i, b'}') => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            () if depth == 0 && (file.is_punct(i, b';') || file.is_punct(i, b',')) => {
+                return i;
+            }
+            () => {}
+        }
+        i += 1;
+    }
+    close
+}
+
+fn match_brace(file: &SourceFile, open: usize, close: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < close {
+        if file.is_punct(i, b'{') {
+            depth += 1;
+        } else if file.is_punct(i, b'}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    close
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::passes::run_all;
+    use crate::syntax::SourceFile;
+    use crate::workspace::Fence;
+
+    fn check(fences: &[Fence], src: &str) -> Vec<String> {
+        let file = SourceFile::parse("p", "crates/p/src/x.rs", fences, src.to_owned());
+        run_all(&[file])
+            .into_iter()
+            .filter(|f| f.pass == "round-closure")
+            .map(|f| f.message)
+            .collect()
+    }
+
+    const PROTO: &[Fence] = &[Fence::Protocol];
+    const DET: &[Fence] = &[Fence::Deterministic];
+
+    #[test]
+    fn delivery_in_a_struct_field_escapes() {
+        let got = check(
+            PROTO,
+            "struct Bad<'a, M> {\n    stash: Delivery<'a, M>,\n}\n",
+        );
+        assert_eq!(got.len(), 1);
+        assert!(got[0].contains("stored in a type"), "{got:?}");
+    }
+
+    #[test]
+    fn borrowed_emission_table_in_a_field_escapes() {
+        let got = check(
+            PROTO,
+            "struct Bad<'a, M> {\n    table: &'a [Option<M>],\n}\n",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+    }
+
+    #[test]
+    fn returning_a_delivery_escapes() {
+        let got = check(
+            PROTO,
+            "impl P {\n    fn leak<'a>(&self, d: Delivery<'a, u8>) -> Delivery<'a, u8> { d }\n}\n",
+        );
+        assert!(
+            got.iter().any(|m| m.contains("returns a `Delivery`")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn move_closure_capturing_the_delivery_escapes() {
+        let got = check(
+            PROTO,
+            "impl P {\n    fn deliver(&mut self, delivery: Delivery<'_, u8>) {\n        \
+             self.cb = Box::new(move || delivery.round);\n    }\n}\n",
+        );
+        assert_eq!(got.len(), 1);
+        assert!(got[0].contains("captured by a `move` closure"), "{got:?}");
+    }
+
+    #[test]
+    fn reading_the_delivery_normally_is_clean() {
+        let got = check(
+            PROTO,
+            "impl P {\n    fn deliver(&mut self, delivery: Delivery<'_, u8>) -> u32 {\n        \
+             let mut acc = 0;\n        for v in delivery.values() { acc += v; }\n        acc\n    }\n}\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn non_move_closures_are_fine() {
+        let got = check(
+            PROTO,
+            "impl P {\n    fn deliver(&mut self, d: Delivery<'_, u8>) -> usize {\n        \
+             d.values().map(|v| v + 1).count()\n    }\n}\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn interior_mutability_is_flagged() {
+        assert_eq!(check(PROTO, "struct S { c: RefCell<u8> }\n").len(), 1);
+        assert_eq!(check(PROTO, "struct S { c: Cell<u8> }\n").len(), 1);
+        assert_eq!(check(PROTO, "static mut COUNTER: u8 = 0;\n").len(), 1);
+        assert_eq!(
+            check(PROTO, "thread_local! { static X: u8 = 0; }\n").len(),
+            1
+        );
+        // `Cell` as a plain path segment (e.g. a type named Cell in a
+        // doc) without `<` does not fire; neither does unfenced code.
+        assert!(check(PROTO, "fn f(c: &str) { let cell = c; }\n").is_empty());
+        assert!(check(&[], "struct S { c: RefCell<u8> }\n").is_empty());
+    }
+
+    #[test]
+    fn hash_collections_fire_only_in_deterministic_crates() {
+        assert_eq!(check(DET, "use std::collections::HashMap;\n").len(), 1);
+        assert_eq!(
+            check(DET, "fn f() { let s: HashSet<u8> = HashSet::new(); }\n").len(),
+            1
+        );
+        assert!(check(&[], "use std::collections::HashMap;\n").is_empty());
+        // Test modules may hash freely.
+        assert!(check(
+            DET,
+            "#[cfg(test)]\nmod t {\n    use std::collections::HashMap;\n}\n"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! The five original lints, ported from the line-oriented token
+//! matcher onto the lexer: string/comment stripping and test-module
+//! skipping now come from the real token stream and scope tree instead
+//! of per-line heuristics. Their findings are counted per line, like
+//! the scanner they replace (proved by the parity goldens in
+//! `tests/static_analysis.rs`).
+
+use super::{Pass, RawFinding};
+use crate::syntax::{SourceFile, TokenKind};
+use crate::workspace::Fence;
+
+/// Emits one finding for token `i` of `file`.
+fn hit(file: &SourceFile, i: usize, pass: &'static str, message: &str, out: &mut Vec<RawFinding>) {
+    let span = file.tokens[i].span;
+    out.push(RawFinding {
+        pass,
+        path: file.path.clone(),
+        line: span.line,
+        col: span.col,
+        message: message.to_owned(),
+        excerpt: file.line_text(span.line).to_owned(),
+    });
+}
+
+/// `true` when token `i` is an identifier equal to `name` outside
+/// test-only code.
+fn lib_ident(file: &SourceFile, i: usize, name: &str) -> bool {
+    !file.in_test[i] && file.is_ident(i, name)
+}
+
+/// Matches `recv . name (` starting at the `.` in position `i`.
+fn method_call(file: &SourceFile, i: usize, name: &str) -> bool {
+    file.is_punct(i, b'.') && file.is_ident(i + 1, name) && file.is_punct(i + 2, b'(')
+}
+
+/// `.unwrap()` / `.expect(` / `panic!` in non-test library code.
+pub struct PanicFamily;
+
+impl Pass for PanicFamily {
+    fn name(&self) -> &'static str {
+        "panic-family"
+    }
+    fn description(&self) -> &'static str {
+        "`.unwrap()` / `.expect(` / `panic!` in library code — propagate the typed errors instead"
+    }
+    fn visit(&mut self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        for i in 0..file.tokens.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            if method_call(file, i, "unwrap") && file.is_punct(i + 3, b')') {
+                hit(file, i, self.name(), "`.unwrap()` in library code", out);
+            } else if method_call(file, i, "expect") {
+                hit(file, i, self.name(), "`.expect(…)` in library code", out);
+            } else if file.is_ident(i, "panic") && file.is_punct(i + 1, b'!') {
+                hit(file, i, self.name(), "`panic!` in library code", out);
+            }
+        }
+    }
+}
+
+/// Matches `Instant::now` / `SystemTime::now` at identifier `i`.
+fn wall_clock_read(file: &SourceFile, i: usize) -> bool {
+    (file.is_ident(i, "Instant") || file.is_ident(i, "SystemTime"))
+        && file.is_punct(i + 1, b':')
+        && file.is_punct(i + 2, b':')
+        && file.is_ident(i + 3, "now")
+}
+
+/// Wall-clock reads in deterministic (replayable-trace) crates.
+pub struct WallClock;
+
+impl Pass for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+    fn description(&self) -> &'static str {
+        "`Instant::now` / `SystemTime::now` in a deterministic crate breaks trace replay"
+    }
+    fn visit(&mut self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        if !file.fenced(Fence::Deterministic) {
+            return;
+        }
+        for i in 0..file.tokens.len() {
+            if !file.in_test[i] && wall_clock_read(file, i) {
+                hit(
+                    file,
+                    i,
+                    self.name(),
+                    "wall-clock read in a deterministic crate",
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Wall-clock reads in instrumented crates, bypassing `rrfd_obs::Clock`.
+pub struct ObsClock;
+
+impl Pass for ObsClock {
+    fn name(&self) -> &'static str {
+        "obs"
+    }
+    fn description(&self) -> &'static str {
+        "wall-clock read in an instrumented crate — route time through `rrfd_obs::Clock`"
+    }
+    fn visit(&mut self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        if !file.fenced(Fence::Instrumented) {
+            return;
+        }
+        for i in 0..file.tokens.len() {
+            if !file.in_test[i] && wall_clock_read(file, i) {
+                hit(
+                    file,
+                    i,
+                    self.name(),
+                    "Clock-bypassing time read in an instrumented crate",
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// `received[` — direct delivery indexing past the suspicion mask.
+pub struct DirectIndex;
+
+impl Pass for DirectIndex {
+    fn name(&self) -> &'static str {
+        "direct-index"
+    }
+    fn description(&self) -> &'static str {
+        "`received[…]` bypasses the suspected-process mask — use the `Delivery` accessors"
+    }
+    fn visit(&mut self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        for i in 0..file.tokens.len() {
+            if lib_ident(file, i, "received") && file.is_punct(i + 1, b'[') {
+                hit(
+                    file,
+                    i,
+                    self.name(),
+                    "direct indexing of a round delivery",
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Payload deep copies in the zero-copy message-plane crates.
+pub struct MsgClone;
+
+impl Pass for MsgClone {
+    fn name(&self) -> &'static str {
+        "msg-clone"
+    }
+    fn description(&self) -> &'static str {
+        "payload clone in a message-plane delivery loop defeats the zero-copy plane"
+    }
+    fn visit(&mut self, file: &SourceFile, out: &mut Vec<RawFinding>) {
+        if !file.fenced(Fence::MessagePlane) {
+            return;
+        }
+        // `msg.clone()` anywhere; or `messages[` and `.clone()` on the
+        // same source line (the shared emission table being copied out).
+        let mut line_has_table_index: Vec<usize> = Vec::new();
+        let mut line_has_clone: Vec<usize> = Vec::new();
+        let mut first_on_line: Vec<(usize, usize)> = Vec::new(); // (line, token)
+        for i in 0..file.tokens.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            let line = file.tokens[i].span.line;
+            if !matches!(file.tokens[i].kind, TokenKind::Literal(_))
+                && first_on_line.last().map(|&(l, _)| l) != Some(line)
+            {
+                first_on_line.push((line, i));
+            }
+            if file.is_ident(i, "msg")
+                && method_call(file, i + 1, "clone")
+                && file.is_punct(i + 4, b')')
+            {
+                hit(
+                    file,
+                    i,
+                    self.name(),
+                    "message payload cloned out of a delivery",
+                    out,
+                );
+            }
+            if file.is_ident(i, "messages") && file.is_punct(i + 1, b'[') {
+                line_has_table_index.push(line);
+            }
+            if method_call(file, i, "clone") && file.is_punct(i + 3, b')') {
+                line_has_clone.push(line);
+            }
+        }
+        for &line in &line_has_table_index {
+            if line_has_clone.contains(&line) {
+                if let Some(&(_, tok)) = first_on_line.iter().find(|&&(l, _)| l == line) {
+                    hit(
+                        file,
+                        tok,
+                        self.name(),
+                        "emission-table entry cloned in a delivery loop",
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::passes::run_all;
+    use crate::syntax::SourceFile;
+    use crate::workspace::Fence;
+
+    fn findings(fences: &[Fence], src: &str) -> Vec<(String, usize)> {
+        let file = SourceFile::parse(
+            "test-crate",
+            "crates/test-crate/src/x.rs",
+            fences,
+            src.to_owned(),
+        );
+        run_all(&[file])
+            .into_iter()
+            .map(|f| (f.pass.to_owned(), f.line))
+            .collect()
+    }
+
+    #[test]
+    fn panic_family_fires_on_all_three_shapes() {
+        let got = findings(
+            &[],
+            "fn f() {\n    a.unwrap();\n    b.expect(\"x\");\n    panic!(\"y\");\n}\n",
+        );
+        assert_eq!(
+            got,
+            vec![
+                ("panic-family".to_owned(), 2),
+                ("panic-family".to_owned(), 3),
+                ("panic-family".to_owned(), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_comments_and_test_mods_are_exempt() {
+        let got = findings(
+            &[],
+            "// a.unwrap()\n/* panic! */\nconst S: &str = \".unwrap()\";\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n",
+        );
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn clock_passes_respect_fences() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(
+            findings(&[Fence::Deterministic], src),
+            vec![("wall-clock".to_owned(), 1)]
+        );
+        assert_eq!(
+            findings(&[Fence::Instrumented], src),
+            vec![("obs".to_owned(), 1)]
+        );
+        assert!(findings(&[], src).is_empty());
+        // A crate can be in both (none currently are, but the framework
+        // must not assume exclusivity).
+        assert_eq!(
+            findings(&[Fence::Deterministic, Fence::Instrumented], src).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn direct_index_fires_everywhere() {
+        assert_eq!(
+            findings(&[], "fn f() { let m = d.received[j]; }\n").len(),
+            1
+        );
+        assert!(findings(&[], "fn f() { let m = d.received.get(j); }\n").is_empty());
+    }
+
+    #[test]
+    fn msg_clone_shapes_and_fence() {
+        let fences = [Fence::MessagePlane];
+        assert_eq!(
+            findings(&fences, "fn f() { out.push(msg.clone()); }\n").len(),
+            1
+        );
+        assert_eq!(
+            findings(&fences, "fn f() { let m = messages[j].clone(); }\n").len(),
+            1
+        );
+        assert!(findings(&fences, "fn f() { let m = &messages[j]; }\n").is_empty());
+        assert!(findings(&[], "fn f() { out.push(msg.clone()); }\n").is_empty());
+    }
+}

@@ -1,0 +1,668 @@
+//! A hand-rolled Rust lexer and lightweight block parser — the
+//! foundation of the syntax-aware lint framework (`passes`).
+//!
+//! The lexer turns source text into a flat stream of spanned tokens
+//! (identifiers, lifetimes, literals, punctuation) with comments
+//! stripped and string/char literals kept as opaque single tokens, so
+//! passes never see `panic!` inside a doc comment or a string. It
+//! understands the escapes that defeat line-oriented scanners: nested
+//! block comments, raw strings (`r#"…"#` with any hash count), byte
+//! strings, multi-line strings, and the char-literal/lifetime
+//! ambiguity.
+//!
+//! On top of the token stream a lightweight parser builds a *scope
+//! tree*: every `{ … }` region becomes a [`Scope`] annotated with the
+//! attributes (`#[cfg(test)]`, `#[test]`, …) and header tokens
+//! (`impl RoundProtocol for X`, `fn deliver(…)`) that preceded its
+//! opening brace. That is deliberately much less than a Rust grammar —
+//! no expressions, no types — but enough to answer the questions
+//! passes ask: "is this token inside test-only code?", "which `impl`
+//! block am I in?", "where does this function body end?".
+
+use std::fmt;
+
+/// Byte- and line-addressed location of a token in its file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub lo: usize,
+    /// Byte offset one past the last byte.
+    pub hi: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// What sort of literal a [`TokenKind::Literal`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitKind {
+    /// String, raw-string, byte-string or raw-byte-string literal.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Integer or float literal (suffix included).
+    Num,
+}
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `received`, `RoundProtocol`, …).
+    Ident,
+    /// A lifetime such as `'a` (quote included in the span).
+    Lifetime,
+    /// A literal; passes normally skip these.
+    Literal(LitKind),
+    /// One byte of punctuation. Multi-byte operators (`::`, `->`)
+    /// appear as consecutive punct tokens.
+    Punct(u8),
+}
+
+/// One lexed token. Text is recovered from the owning
+/// [`SourceFile::text`] via the span, keeping tokens `Copy`-cheap.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Location in the source text.
+    pub span: Span,
+}
+
+/// One `{ … }` region of a file, with the attributes and header tokens
+/// that introduced it and its nested scopes.
+#[derive(Debug, Default)]
+pub struct Scope {
+    /// Token index of the opening `{` (`usize::MAX` for the file root).
+    pub open: usize,
+    /// Token index of the matching `}` (`tokens.len()` if unbalanced —
+    /// the scope then extends to end of file).
+    pub close: usize,
+    /// Token range `[header_lo, open)` holding the item header: the
+    /// tokens after the previous item boundary (`;`, `{`, `}`) at the
+    /// same nesting level, attributes excluded.
+    pub header_lo: usize,
+    /// Rendered attribute contents preceding the header, e.g.
+    /// `"cfg(test)"`, `"test"`, `"derive(Debug)"`.
+    pub attrs: Vec<String>,
+    /// Nested scopes in source order.
+    pub children: Vec<Scope>,
+}
+
+impl Scope {
+    /// `true` when this scope's own attributes mark it test-only:
+    /// `#[cfg(test)]` (or any `cfg(…)` mentioning `test`) or `#[test]`.
+    #[must_use]
+    pub fn is_test_marked(&self) -> bool {
+        self.attrs
+            .iter()
+            .any(|a| a == "test" || (a.starts_with("cfg") && a.contains("test")))
+    }
+}
+
+/// A lexed and scope-parsed source file, plus the workspace context
+/// (crate, fences) passes need to decide what applies.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Name of the crate the file belongs to (its `crates/` dir name).
+    pub crate_name: String,
+    /// Workspace-relative `/`-separated path, as reported in findings.
+    pub path: String,
+    /// Fence categories of the crate, from `Cargo.toml` metadata.
+    pub fences: Vec<crate::workspace::Fence>,
+    /// The raw source text.
+    pub text: String,
+    /// The token stream, comments stripped.
+    pub tokens: Vec<Token>,
+    /// Root of the scope tree (`open == usize::MAX`).
+    pub root: Scope,
+    /// `in_test[i]` — token `i` lies inside a `#[cfg(test)]`/`#[test]`
+    /// scope (the test scope's header and attributes included).
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes and scope-parses `text`.
+    #[must_use]
+    pub fn parse(
+        crate_name: &str,
+        path: &str,
+        fences: &[crate::workspace::Fence],
+        text: String,
+    ) -> Self {
+        let tokens = lex(&text);
+        let root = parse_scopes(&tokens, &text);
+        let mut in_test = vec![false; tokens.len()];
+        mark_tests(&root, false, &mut in_test);
+        SourceFile {
+            crate_name: crate_name.to_owned(),
+            path: path.to_owned(),
+            fences: fences.to_vec(),
+            text,
+            tokens,
+            root,
+            in_test,
+        }
+    }
+
+    /// The source text of token `i`.
+    #[must_use]
+    pub fn tok_text(&self, i: usize) -> &str {
+        let s = self.tokens[i].span;
+        &self.text[s.lo..s.hi]
+    }
+
+    /// `true` when token `i` is the identifier `name`.
+    #[must_use]
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident)
+            && self.tok_text(i) == name
+    }
+
+    /// `true` when token `i` is the punctuation byte `b`.
+    #[must_use]
+    pub fn is_punct(&self, i: usize, b: u8) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct(b))
+    }
+
+    /// The whole source line (1-based) containing byte `lo`, trimmed.
+    #[must_use]
+    pub fn line_text(&self, line: usize) -> &str {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1))
+            .unwrap_or("")
+            .trim()
+    }
+
+    /// Whether the crate carries a fence category.
+    #[must_use]
+    pub fn fenced(&self, fence: crate::workspace::Fence) -> bool {
+        self.fences.contains(&fence)
+    }
+}
+
+fn mark_tests(scope: &Scope, inherited: bool, out: &mut [bool]) {
+    let test = inherited || scope.is_test_marked();
+    if test && scope.open != usize::MAX {
+        let hi = scope.close.min(out.len());
+        for slot in &mut out[scope.header_lo..hi] {
+            *slot = true;
+        }
+        if hi < out.len() {
+            out[hi] = true; // the closing `}` itself
+        }
+    }
+    for child in &scope.children {
+        mark_tests(child, test, out);
+    }
+}
+
+/// Lexes Rust source into spanned tokens, dropping comments.
+#[must_use]
+pub fn lex(text: &str) -> Vec<Token> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut line_start = 0usize; // byte offset of the current line
+                                 // Advances `i` to `to`, updating the line accounting.
+    macro_rules! advance_to {
+        ($to:expr) => {{
+            let to = $to;
+            while i < to && i < bytes.len() {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    line_start = i + 1;
+                }
+                i += 1;
+            }
+        }};
+    }
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        let start_line = line;
+        let start_col = i - line_start + 1;
+        let span = |hi: usize| Span {
+            lo: start,
+            hi,
+            line: start_line,
+            col: start_col,
+        };
+        match b {
+            b'\n' => {
+                line += 1;
+                line_start = i + 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (doc comments included): to end of line.
+                let end = memchr(bytes, i, b'\n').unwrap_or(bytes.len());
+                advance_to!(end);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j..].starts_with(b"/*") {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j..].starts_with(b"*/") {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                advance_to!(j);
+            }
+            b'"' => {
+                let end = scan_string(bytes, i + 1);
+                advance_to!(end);
+                tokens.push(Token {
+                    kind: TokenKind::Literal(LitKind::Str),
+                    span: span(i),
+                });
+            }
+            b'r' | b'b' if raw_string_start(bytes, i).is_some() => {
+                let end = raw_string_start(bytes, i).expect("checked by the guard");
+                advance_to!(end);
+                tokens.push(Token {
+                    kind: TokenKind::Literal(LitKind::Str),
+                    span: span(i),
+                });
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                let end = scan_char(bytes, i + 2);
+                advance_to!(end);
+                tokens.push(Token {
+                    kind: TokenKind::Literal(LitKind::Char),
+                    span: span(i),
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'` + ident-start not
+                // immediately closed by `'` is a lifetime (`'a`, `'static`).
+                let next = bytes.get(i + 1).copied();
+                let after = bytes.get(i + 2).copied();
+                let ident_start = next.is_some_and(|c| c.is_ascii_alphabetic() || c == b'_');
+                if ident_start && after != Some(b'\'') {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_byte(bytes[j]) {
+                        j += 1;
+                    }
+                    advance_to!(j);
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        span: span(i),
+                    });
+                } else {
+                    let end = scan_char(bytes, i + 1);
+                    advance_to!(end);
+                    tokens.push(Token {
+                        kind: TokenKind::Literal(LitKind::Char),
+                        span: span(i),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (is_ident_byte(bytes[j])
+                        || (bytes[j] == b'.' && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    j += 1;
+                }
+                advance_to!(j);
+                tokens.push(Token {
+                    kind: TokenKind::Literal(LitKind::Num),
+                    span: span(i),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+                // Raw identifiers: `r#match` — skip the `r#` prefix case
+                // where `r` was followed by `#` (handled here because the
+                // raw-string guard above did not match).
+                if j == i + 1 && c == b'r' && bytes.get(j) == Some(&b'#') {
+                    let mut k = j + 1;
+                    while k < bytes.len() && is_ident_byte(bytes[k]) {
+                        k += 1;
+                    }
+                    if k > j + 1 {
+                        j = k;
+                    }
+                }
+                advance_to!(j);
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    span: span(i),
+                });
+            }
+            c => {
+                i += 1;
+                tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    span: span(i),
+                });
+            }
+        }
+    }
+    tokens
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn memchr(bytes: &[u8], from: usize, needle: u8) -> Option<usize> {
+    bytes[from..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|p| from + p)
+}
+
+/// Scans past a `"…"` body starting after the opening quote; returns
+/// the index one past the closing quote (or end of input).
+fn scan_string(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans past a char/byte literal body starting after the opening
+/// quote; returns the index one past the closing quote.
+fn scan_char(bytes: &[u8], mut i: usize) -> usize {
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2;
+    } else {
+        i += 1;
+    }
+    while i < bytes.len() && bytes[i] != b'\'' {
+        i += 1;
+    }
+    (i + 1).min(bytes.len())
+}
+
+/// If `bytes[i..]` starts a raw (byte) string literal — `r"`, `r#"`,
+/// `br##"`, … — returns the index one past its closing delimiter.
+fn raw_string_start(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    // Find `"` followed by `hashes` hash marks.
+    while j < bytes.len() {
+        if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k);
+            }
+        }
+        j += 1;
+    }
+    Some(bytes.len())
+}
+
+/// Builds the scope tree from a token stream.
+#[must_use]
+pub fn parse_scopes(tokens: &[Token], text: &str) -> Scope {
+    struct Frame {
+        scope: Scope,
+        header_lo: usize,
+        pending_attrs: Vec<String>,
+    }
+    let mut stack = vec![Frame {
+        scope: Scope {
+            open: usize::MAX,
+            close: tokens.len(),
+            ..Scope::default()
+        },
+        header_lo: 0,
+        pending_attrs: Vec::new(),
+    }];
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct(b'#')
+                if matches!(
+                    tokens.get(i + 1).map(|t| t.kind),
+                    Some(TokenKind::Punct(b'['))
+                ) || (matches!(
+                    tokens.get(i + 1).map(|t| t.kind),
+                    Some(TokenKind::Punct(b'!'))
+                ) && matches!(
+                    tokens.get(i + 2).map(|t| t.kind),
+                    Some(TokenKind::Punct(b'['))
+                )) =>
+            {
+                // `#[…]` outer attribute (recorded) or `#![…]` inner
+                // attribute (skipped): find the matching `]`.
+                let inner = matches!(tokens[i + 1].kind, TokenKind::Punct(b'!'));
+                let open = if inner { i + 2 } else { i + 1 };
+                let mut depth = 0usize;
+                let mut j = open;
+                while j < tokens.len() {
+                    match tokens[j].kind {
+                        TokenKind::Punct(b'[') => depth += 1,
+                        TokenKind::Punct(b']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if !inner && j > open {
+                    let lo = tokens[open + 1].span.lo;
+                    let hi = tokens[j - 1].span.hi.max(lo);
+                    let rendered: String = text[lo..hi]
+                        .split_whitespace()
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    let frame = stack.last_mut().expect("root frame always present");
+                    frame.pending_attrs.push(rendered);
+                }
+                i = j + 1;
+                // An attribute does not end the item header; keep
+                // header_lo pointing past it if nothing else started.
+                let frame = stack.last_mut().expect("root frame always present");
+                if frame.header_lo < i
+                    && tokens[frame.header_lo..i.min(tokens.len())]
+                        .iter()
+                        .all(false_header)
+                {
+                    frame.header_lo = i;
+                }
+            }
+            TokenKind::Punct(b'{') => {
+                let frame = stack.last_mut().expect("root frame always present");
+                let header_lo = frame.header_lo.min(i);
+                let attrs = std::mem::take(&mut frame.pending_attrs);
+                stack.push(Frame {
+                    scope: Scope {
+                        open: i,
+                        close: tokens.len(),
+                        header_lo,
+                        attrs,
+                        children: Vec::new(),
+                    },
+                    header_lo: i + 1,
+                    pending_attrs: Vec::new(),
+                });
+                i += 1;
+            }
+            TokenKind::Punct(b'}') => {
+                if stack.len() > 1 {
+                    let mut frame = stack.pop().expect("len checked");
+                    frame.scope.close = i;
+                    let parent = stack.last_mut().expect("root frame remains");
+                    parent.scope.children.push(frame.scope);
+                    parent.header_lo = i + 1;
+                    parent.pending_attrs.clear();
+                }
+                i += 1;
+            }
+            TokenKind::Punct(b';') => {
+                let frame = stack.last_mut().expect("root frame always present");
+                frame.header_lo = i + 1;
+                frame.pending_attrs.clear();
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    // Unbalanced files: fold any unclosed scopes into the root.
+    while stack.len() > 1 {
+        let frame = stack.pop().expect("len checked");
+        let parent = stack.last_mut().expect("root frame remains");
+        parent.scope.children.push(frame.scope);
+    }
+    stack.pop().expect("root frame").scope
+}
+
+/// Always false — placeholder predicate used to keep the attribute
+/// header adjustment readable (no token invalidates a header).
+fn false_header(_t: &Token) -> bool {
+    false
+}
+
+/// Walks `scope` and all nested scopes depth-first, pre-order.
+pub fn walk<'a>(scope: &'a Scope, visit: &mut impl FnMut(&'a Scope)) {
+    visit(scope);
+    for child in &scope.children {
+        walk(child, visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        let toks = lex(src);
+        toks.iter()
+            .map(|t| src[t.span.lo..t.span.hi].to_owned())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_vanish_from_the_stream() {
+        let toks = texts(
+            "// x.unwrap()\n/* panic! /* nested */ still comment */\nlet s = \".expect(\"; y",
+        );
+        assert_eq!(toks, vec!["let", "s", "=", "\".expect(\"", ";", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_single_tokens() {
+        let toks = texts(r####"let s = r#"embedded " quote and panic!"#; z"####);
+        assert_eq!(toks[3], r###"r#"embedded " quote and panic!"#"###);
+        assert_eq!(toks.last().map(String::as_str), Some("z"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let toks = texts("let c = ','; fn f<'a>(x: &'a T) {} let d = 'a';");
+        assert!(toks.contains(&"','".to_owned()));
+        assert!(toks.contains(&"'a".to_owned())); // the lifetime
+        assert!(toks.contains(&"'a'".to_owned())); // the literal
+    }
+
+    #[test]
+    fn spans_carry_lines_and_columns() {
+        let src = "fn f() {\n    x.unwrap();\n}\n";
+        let toks = lex(src);
+        let unwrap = toks
+            .iter()
+            .find(|t| &src[t.span.lo..t.span.hi] == "unwrap")
+            .expect("lexed");
+        assert_eq!(unwrap.span.line, 2);
+        assert_eq!(unwrap.span.col, 7);
+    }
+
+    #[test]
+    fn scope_tree_attaches_attrs_and_headers() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}\n";
+        let file = SourceFile::parse("c", "p.rs", &[], src.to_owned());
+        assert_eq!(file.root.children.len(), 3);
+        let tests_mod = &file.root.children[1];
+        assert!(tests_mod.is_test_marked());
+        // Every token of the test mod is masked; `after`'s are not.
+        let after_idx = file
+            .tokens
+            .iter()
+            .position(|t| &src[t.span.lo..t.span.hi] == "after")
+            .expect("lexed");
+        assert!(!file.in_test[after_idx]);
+        let t_idx = file
+            .tokens
+            .iter()
+            .position(|t| &src[t.span.lo..t.span.hi] == "t")
+            .expect("lexed");
+        assert!(file.in_test[t_idx]);
+    }
+
+    #[test]
+    fn inner_attributes_are_not_item_attrs() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        let file = SourceFile::parse("c", "p.rs", &[], src.to_owned());
+        assert_eq!(file.root.children.len(), 1);
+        assert!(file.root.children[0].attrs.is_empty());
+    }
+
+    #[test]
+    fn header_tokens_name_the_item() {
+        let src = "impl RoundProtocol for Echo {\n  fn deliver(&mut self) {}\n}\n";
+        let file = SourceFile::parse("c", "p.rs", &[], src.to_owned());
+        let imp = &file.root.children[0];
+        let header: Vec<&str> = (imp.header_lo..imp.open)
+            .map(|i| file.tok_text(i))
+            .collect();
+        assert_eq!(header, vec!["impl", "RoundProtocol", "for", "Echo"]);
+        let f = &imp.children[0];
+        let fh: Vec<&str> = (f.header_lo..f.open).map(|i| file.tok_text(i)).collect();
+        assert_eq!(fh, vec!["fn", "deliver", "(", "&", "mut", "self", ")"]);
+    }
+}

@@ -1,0 +1,22 @@
+//! The same constructs the fenced fixtures are flagged for, in a crate
+//! with no fences: none of the fence-gated passes may fire here. The
+//! integration tests assert this file yields zero findings.
+
+use std::collections::HashMap; // no `deterministic` fence: not flagged
+use std::time::Instant;
+
+struct Unfenced {
+    order: HashMap<u64, u32>,
+}
+
+impl Unfenced {
+    fn tick(&self) -> Instant {
+        Instant::now() // no `deterministic`/`instrumented` fence: not flagged
+    }
+
+    fn drain<M: Clone>(&self, messages: &[Option<M>], out: &mut Vec<M>) {
+        for msg in messages.iter().flatten() {
+            out.push(msg.clone()); // no `message-plane` fence: not flagged
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Seeded violations for the fenced passes: round-closure (all three
+//! rule families), wall-clock, panic-family and direct-index. Each
+//! marked line must produce exactly one finding; the integration tests
+//! and the CI `--expect-findings` step pin that.
+
+use std::cell::RefCell; // round-closure: interior mutability
+use std::collections::HashMap; // round-closure: hash-order nondeterminism
+use std::time::Instant;
+
+/// round-closure: a `Delivery` stored in protocol state escapes its
+/// round method.
+struct StashingProtocol<'a, M> {
+    stash: Option<Delivery<'a, M>>, // round-closure: delivery escape
+    table: &'a [Option<M>],         // round-closure: emission-table escape
+    order: HashMap<u64, u32>,       // round-closure: hash-order
+    scratch: RefCell<Vec<u32>>,     // round-closure: interior mutability
+}
+
+static mut ROUND_COUNTER: u64 = 0; // round-closure: global mutable state
+
+impl<'a, M: Clone> StashingProtocol<'a, M> {
+    fn deliver(&mut self, delivery: Delivery<'a, M>) -> u32 {
+        let started = Instant::now(); // wall-clock: deterministic crate
+        let callback = Box::new(move || delivery.round()); // round-closure: move capture
+        let first = self.received[0].unwrap(); // direct-index + panic-family
+        let _ = (started, callback, first);
+        0
+    }
+}

@@ -1,0 +1,36 @@
+//! Seeded violations for the instrumented/message-plane passes: a
+//! two-lock ordering cycle (lock-order), a Clock-bypassing time read
+//! (obs), and payload clones in a delivery loop (msg-clone).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct Pool<M> {
+    alpha: Mutex<Vec<M>>,
+    beta: Mutex<Vec<M>>,
+}
+
+impl<M: Clone> Pool<M> {
+    /// Acquires alpha before beta…
+    fn forward(&self) {
+        let a = self.alpha.lock();
+        let started = Instant::now(); // obs: Clock-bypassing time read
+        let b = self.beta.lock();
+        let _ = (a, b, started);
+    }
+
+    /// …while this path acquires beta before alpha: lock-order cycle.
+    fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        let _ = (a, b);
+    }
+
+    fn drain(&self, messages: &[Option<M>], out: &mut Vec<M>) {
+        for msg in messages.iter().flatten() {
+            out.push(msg.clone()); // msg-clone: payload deep copy
+        }
+        let copied = messages[0].clone(); // msg-clone: emission-table clone
+        let _ = copied;
+    }
+}
