@@ -36,8 +36,8 @@ commands:
 
   lint [--root DIR] [--allow PATH] [--strict] [--json]
        [--expect-findings PASS[,PASS...]]
-      Run the seven syntax-aware passes (panic-family, wall-clock, obs,
-      direct-index, msg-clone, round-closure, lock-order) over
+      Run the eight syntax-aware passes (panic-family, wall-clock, obs,
+      direct-index, msg-clone, round-closure, span-guard, lock-order) over
       crates/*/src, with crate fences from each Cargo.toml's
       [package.metadata.rrfd], reconciled against the span-fingerprinted
       allowlist (default lint.allow under --root, default .). --strict
@@ -46,11 +46,14 @@ commands:
       exit status per pass: success iff every named pass fired (for the
       seeded negative fixtures in CI).
 
-  stats <capture-file> [--check PATH]
+  stats <capture-file> [--check PATH] [--trace-out PATH]
       Render per-round statistics (messages, suspicions, decisions,
       latency quantiles) for an `rrfd-trace v1`, `rrfd-events v1`, or
       metrics-JSONL capture. With --check, compare the rendered output
       byte-for-byte against the golden file at PATH and fail on drift.
+      With --trace-out, additionally synthesize a Chrome trace-event
+      JSON file at PATH from an `rrfd-trace v1` capture's causal
+      structure (load it at ui.perfetto.dev or chrome://tracing).
 ";
 
 fn main() -> ExitCode {
@@ -270,6 +273,10 @@ fn run_stats(args: &[String]) -> ExitCode {
         Ok(v) => v,
         Err(e) => return usage_error(&e),
     };
+    let trace_out = match take_value(&mut rest, "--trace-out") {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
     let [path] = rest.as_slice() else {
         return usage_error("stats needs exactly one capture file");
     };
@@ -288,6 +295,20 @@ fn run_stats(args: &[String]) -> ExitCode {
         }
     };
     print!("{rendered}");
+    if let Some(out_path) = trace_out {
+        let chrome = match stats::chrome_trace_text(&text) {
+            Ok(chrome) => chrome,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&out_path, chrome) {
+            eprintln!("cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("{path}: Chrome trace written to {out_path} (load at ui.perfetto.dev)");
+    }
     let Some(golden_path) = check else {
         return ExitCode::SUCCESS;
     };
@@ -418,7 +439,7 @@ fn run_lint(args: &[String]) -> ExitCode {
     if report.is_clean(strict) {
         if !json {
             eprintln!(
-                "lint clean: {} finding(s) across 7 passes, all pinned or budgeted in {}",
+                "lint clean: {} finding(s) across 8 passes, all pinned or budgeted in {}",
                 findings.len(),
                 allow_path.display()
             );

@@ -22,17 +22,12 @@ use rrfd_core::{
     TraceOutcome,
 };
 use rrfd_models::enumerate::all_rounds;
-use rrfd_models::predicates::{
-    AntiSymmetric, AsyncResilient, Crash, DetectorS, EventuallyStrong, IdenticalViews,
-    KUncertainty, SendOmission, Snapshot, SomeoneTrustedByAll, Swmr, SystemB,
-};
+/// The zoo family and its boxed element type now live in `rrfd-models`
+/// (the conformance monitor evaluates them against live runs); they are
+/// re-exported here so lattice callers keep their import paths.
+pub use rrfd_models::zoo::{zoo, SharedPredicate};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// A predicate boxed for use from worker threads: the element type of the
-/// [`zoo`] family and the input to [`Lattice::compute`] /
-/// [`Lattice::compute_par`].
-pub type SharedPredicate = Box<dyn RrfdPredicate + Send + Sync>;
 
 /// A witness that `A ⇏ B`: an `A`-legal pattern whose final round `B`
 /// rejects (every proper prefix is legal for both).
@@ -128,38 +123,6 @@ pub fn certificate(cex: &LatticeCounterexample) -> RunTrace {
             round: cex.rejected_round,
         },
     ))
-}
-
-/// The standard predicate zoo the lattice is computed over: every model
-/// family from the paper's Section 2 discussion, instantiated at system
-/// size `n` with resilience `f` where the family takes one.
-///
-/// System B carries its own side conditions (`f_B < t`, `2t < n`), so it
-/// is instantiated at the largest legal `t = ⌈n/2⌉ − 1` with
-/// `f_B = min(f, t − 1)` — at the default `n = 3` that is `PB(0, 1)`.
-///
-/// # Panics
-///
-/// Panics when `f` is not a legal resilience for `n` (the individual
-/// constructors check).
-#[must_use]
-pub fn zoo(n: SystemSize, f: usize) -> Vec<SharedPredicate> {
-    let t = n.get().div_ceil(2) - 1; // largest t with 2t < n
-    vec![
-        Box::new(Crash::new(n, f)),
-        Box::new(SendOmission::new(n, f)),
-        Box::new(Snapshot::new(n, f)),
-        Box::new(Swmr::new(n, f)),
-        Box::new(AsyncResilient::new(n, f)),
-        Box::new(SystemB::new(n, f.min(t.saturating_sub(1)), t)),
-        Box::new(DetectorS::new(n)),
-        Box::new(EventuallyStrong::new(n, f, Round::new(2))),
-        Box::new(IdenticalViews::new(n)),
-        Box::new(KUncertainty::new(n, 1)),
-        Box::new(KUncertainty::new(n, 2)),
-        Box::new(SomeoneTrustedByAll::new(n)),
-        Box::new(AntiSymmetric::new(n)),
-    ]
 }
 
 /// The computed lattice: the full implication matrix over a predicate
@@ -457,6 +420,10 @@ mod tests {
     use super::*;
     use rrfd_core::{Control, Delivery, Engine, EngineError, RoundProtocol};
     use rrfd_models::adversary::ReplayDetector;
+    use rrfd_models::predicates::{
+        AsyncResilient, Crash, DetectorS, IdenticalViews, KUncertainty, SendOmission, Snapshot,
+        Swmr, SystemB,
+    };
 
     fn n3() -> SystemSize {
         SystemSize::new(3).unwrap()

@@ -12,13 +12,16 @@
 //! * [`lint`] — the syntax-aware static-analysis framework: a
 //!   hand-rolled lexer and scope parser ([`syntax`]), fences derived
 //!   from `Cargo.toml` metadata ([`workspace`]), a pluggable pass API
-//!   with seven passes ([`passes`]) including the `round-closure`
-//!   communication-closure checker (arXiv:1804.07078) and the
-//!   `lock-order` deadlock-cycle detector, reconciled against a
-//!   span-fingerprinted allowlist with JSON diagnostics.
+//!   with eight passes ([`passes`]) including the `round-closure`
+//!   communication-closure checker (arXiv:1804.07078), the
+//!   `span-guard` round-span discipline checker, and the `lock-order`
+//!   deadlock-cycle detector, reconciled against a span-fingerprinted
+//!   allowlist with JSON diagnostics.
 //! * [`stats`] — renders per-round tables (messages, suspicions,
 //!   decisions, latency quantiles) from `rrfd-trace v1`, `rrfd-events
-//!   v1`, or metrics-JSONL capture files, golden-checkable in CI.
+//!   v1`, or metrics-JSONL capture files, golden-checkable in CI; with
+//!   `--trace-out`, synthesizes a Perfetto-loadable Chrome trace from
+//!   an `rrfd-trace v1` capture's causal structure.
 //!
 //! ```text
 //! cargo run --release -p rrfd-analyze --bin rrfd-analyze -- lattice

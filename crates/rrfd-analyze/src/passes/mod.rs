@@ -1,5 +1,5 @@
 //! The pluggable pass API of the syntax-aware lint framework, and the
-//! registry of the seven passes that ship with it.
+//! registry of the eight passes that ship with it.
 //!
 //! A pass consumes lexed, scope-parsed [`SourceFile`]s (see `syntax`)
 //! and emits [`Finding`]s. File-local passes do all their work in
@@ -25,6 +25,7 @@
 
 mod lock_order;
 mod round_closure;
+mod span_guard;
 mod token_lints;
 
 use crate::syntax::SourceFile;
@@ -32,6 +33,7 @@ use std::fmt;
 
 pub use lock_order::LockOrder;
 pub use round_closure::RoundClosure;
+pub use span_guard::SpanGuard;
 pub use token_lints::{DirectIndex, MsgClone, ObsClock, PanicFamily, WallClock};
 
 /// A finding as a pass reports it — location and message, before the
@@ -96,7 +98,7 @@ pub trait Pass {
     }
 }
 
-/// The seven passes of the framework, in reporting order.
+/// The eight passes of the framework, in reporting order.
 #[must_use]
 pub fn registry() -> Vec<Box<dyn Pass>> {
     vec![
@@ -106,6 +108,7 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(DirectIndex),
         Box::new(MsgClone),
         Box::new(RoundClosure),
+        Box::new(SpanGuard),
         Box::new(LockOrder::default()),
     ]
 }

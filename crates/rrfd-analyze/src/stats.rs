@@ -17,9 +17,15 @@
 //! The renderer is pure text-in/text-out and byte-deterministic for a
 //! given input, which is what lets CI golden-test its output with
 //! `stats --check`.
+//!
+//! `stats --trace-out` additionally synthesizes a Perfetto-loadable
+//! Chrome trace ([`chrome_trace`]) from an `rrfd-trace v1` capture: the
+//! trace records causal structure, not wall time, so each round is laid
+//! out in a fixed synthetic slot (1 ms per round, emit/deliver/decide
+//! at fixed offsets inside it) and the export is byte-deterministic.
 
 use rrfd_core::{Actor, EventLog, RtEventKind, RunTrace};
-use rrfd_obs::{HistogramSnapshot, MetricValue, Snapshot};
+use rrfd_obs::{HistogramSnapshot, MetricValue, Snapshot, SpanKind, SpanPhase, SpanRecord};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -47,6 +53,98 @@ pub fn render(text: &str) -> Result<String, String> {
              `rrfd-trace v1`, `rrfd-events v1`, or metrics JSONL"
         ))
     }
+}
+
+/// Synthetic logical time per round in the Chrome export, in
+/// nanoseconds: round `r` occupies `[(r−1)·1 ms, r·1 ms)`.
+const ROUND_SLOT_NS: u64 = 1_000_000;
+
+/// Synthesizes causal [`SpanRecord`]s from a replay trace and renders
+/// them as Chrome trace-event JSON (loadable at `ui.perfetto.dev`).
+///
+/// A [`RunTrace`] carries no clock readings — it is the deterministic
+/// record of *what happened*, not when — so the spans use synthetic
+/// logical timestamps: round `r` fills the slot `[(r−1)·1 ms, r·1 ms)`,
+/// with the emit phase at `+0‥300 µs`, delivery at `+400‥700 µs`
+/// (omitted for a round the adversary aborted before delivery), and
+/// each process's decision at `+800‥900 µs` of its decision round. The
+/// derived span/parent ids in `args` are the same pure function of
+/// `(instance, round, process, kind)` the live tracing plane uses, so a
+/// synthesized tree and a recorded one agree on identity.
+#[must_use]
+pub fn chrome_trace(trace: &RunTrace) -> String {
+    let mut spans = Vec::new();
+    let rounds = trace.rounds();
+    spans.push(SpanRecord {
+        instance: 0,
+        kind: SpanKind::Run,
+        round: 0,
+        process: None,
+        start_ns: 0,
+        end_ns: rounds.len() as u64 * ROUND_SLOT_NS,
+    });
+    for (idx, round) in rounds.iter().enumerate() {
+        let round_no = idx as u32 + 1;
+        let base = idx as u64 * ROUND_SLOT_NS;
+        spans.push(SpanRecord {
+            instance: 0,
+            kind: SpanKind::Round,
+            round: round_no,
+            process: None,
+            start_ns: base,
+            end_ns: base + ROUND_SLOT_NS,
+        });
+        spans.push(SpanRecord {
+            instance: 0,
+            kind: SpanKind::Phase(SpanPhase::Emit),
+            round: round_no,
+            process: None,
+            start_ns: base,
+            end_ns: base + 300_000,
+        });
+        if !round.heard.is_empty() {
+            spans.push(SpanRecord {
+                instance: 0,
+                kind: SpanKind::Phase(SpanPhase::Deliver),
+                round: round_no,
+                process: None,
+                start_ns: base + 400_000,
+                end_ns: base + 700_000,
+            });
+        }
+        for (i, decided) in trace.decision_rounds().iter().enumerate() {
+            if decided.is_some_and(|r| r.get() == round_no) {
+                spans.push(SpanRecord {
+                    instance: 0,
+                    kind: SpanKind::Phase(SpanPhase::Decide),
+                    round: round_no,
+                    process: Some(i as u32),
+                    start_ns: base + 800_000,
+                    end_ns: base + 900_000,
+                });
+            }
+        }
+    }
+    rrfd_obs::span::to_chrome(&spans)
+}
+
+/// Parses `text` as an `rrfd-trace v1` capture and renders
+/// [`chrome_trace`] for it.
+///
+/// # Errors
+///
+/// Returns a message when the capture is not an `rrfd-trace v1` file
+/// (the other capture formats carry no per-round causal structure to
+/// lay out) or fails to parse as one.
+pub fn chrome_trace_text(text: &str) -> Result<String, String> {
+    let first = text.lines().next().unwrap_or_default().trim();
+    if first != "rrfd-trace v1" {
+        return Err(format!(
+            "--trace-out needs an `rrfd-trace v1` capture (got first line {first:?})"
+        ));
+    }
+    let trace: RunTrace = text.parse().map_err(|e| format!("trace: {e}"))?;
+    Ok(chrome_trace(&trace))
 }
 
 /// Lays out `rows` under `headers` with two-space gutters, every cell
@@ -448,6 +546,54 @@ c access loc=pattern rw=w
         let err = render("mystery v9\n").unwrap_err();
         assert!(err.contains("unrecognized capture format"), "{err}");
         let err = render("rrfd-trace v1\nn banana\n").unwrap_err();
+        assert!(err.starts_with("trace:"), "{err}");
+    }
+
+    #[test]
+    fn chrome_trace_lays_rounds_out_in_synthetic_slots() {
+        use rrfd_obs::json::{self, Json};
+
+        let text = chrome_trace_text(TRACE).unwrap();
+        let parsed = json::parse(&text).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        // 1 run + 2 rounds + 2 emits + 2 delivers + 3 decides (all in
+        // round 2) = 10 complete events.
+        assert_eq!(events.len(), 10);
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(names.iter().filter(|n| **n == "run").count(), 1);
+        assert!(names.contains(&"round 1"), "{names:?}");
+        assert!(names.contains(&"emit r1"), "{names:?}");
+        assert!(names.contains(&"deliver r2"), "{names:?}");
+        assert!(names.contains(&"decide r2 p0"), "{names:?}");
+        // Round 2 starts at 1 ms (= 1000 µs) of synthetic time; its
+        // decides sit at +800 µs with the deciding process as tid.
+        for event in events {
+            let name = event.get("name").and_then(Json::as_str).unwrap();
+            let ts = event.get("ts").and_then(Json::as_u64).unwrap();
+            match name {
+                "round 2" => assert_eq!(ts, 1000),
+                "decide r2 p1" => {
+                    assert_eq!(ts, 1800);
+                    assert_eq!(event.get("tid").and_then(Json::as_u64), Some(1));
+                }
+                _ => {}
+            }
+        }
+        // Byte-deterministic: same capture, same export.
+        assert_eq!(chrome_trace_text(TRACE).unwrap(), text);
+    }
+
+    #[test]
+    fn chrome_trace_rejects_non_trace_captures() {
+        let err = chrome_trace_text("rrfd-events v1\nn 2\n").unwrap_err();
+        assert!(err.contains("rrfd-trace v1"), "{err}");
+        let err = chrome_trace_text("rrfd-trace v1\nn banana\n").unwrap_err();
         assert!(err.starts_with("trace:"), "{err}");
     }
 }

@@ -4,7 +4,8 @@
 //! writes everything as `BENCH_rrfd.json` (format `rrfd-bench v1`).
 //!
 //! ```text
-//! cargo run -p rrfd-bench --bin report --release -- [--quick] [--out PATH]
+//! cargo run -p rrfd-bench --bin report --release -- \
+//!     [--quick] [--out PATH] [--assert-overhead X]
 //! cargo run -p rrfd-bench --bin report -- --check-schema PATH
 //! ```
 //!
@@ -14,10 +15,15 @@
 //! workload. The report also includes an `overhead` section comparing the
 //! same engine workload uninstrumented, with the no-op recorder, and with
 //! the sharded recorder — the "disabled instrumentation is free" claim as
-//! a number.
+//! a number; `--assert-overhead X` turns that claim into an exit code by
+//! failing when the triple leaves the envelope (noop within `X`× of
+//! baseline, sharded within `10·X`×). A `conformance` section reports
+//! live zoo conformance at batch scale with every online verdict
+//! cross-checked against offline prefix replay.
 
 use rrfd_bench::{
-    measure_throughput, quantile, render_throughput_line, ClonePlaneEngine, FullInfoFlood,
+    measure_conformance, measure_throughput, quantile, render_conformance_block,
+    render_throughput_line, ClonePlaneEngine, FullInfoFlood,
 };
 use rrfd_core::{AnyPattern, Engine, SystemSize};
 use rrfd_engine_pool::MixSpec;
@@ -420,6 +426,12 @@ fn run_report(quick: bool) -> String {
     eprintln!("measuring batch throughput ({tp_instances} instances, {tp_shards} shards)...");
     let throughput = measure_throughput(&MixSpec::default_mix(), tp_instances, tp_shards, SEED);
 
+    // Zoo conformance at batch scale, with every online verdict
+    // cross-checked against offline prefix replay of the captured trace.
+    let conf_instances = if quick { 200 } else { 1_000 };
+    eprintln!("measuring zoo conformance ({conf_instances} monitored instances)...");
+    let conformance = measure_conformance(&MixSpec::default_mix(), conf_instances, tp_shards, SEED);
+
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"format\": \"{FORMAT}\",\n"));
@@ -453,6 +465,8 @@ fn run_report(quick: bool) -> String {
         explore.sequential_ns, explore.parallel_ns, explore.workers, explore.speedup_x100,
     ));
     out.push_str(&render_throughput_line(&throughput));
+    out.push('\n');
+    out.push_str(&render_conformance_block(&conformance));
     out.push('\n');
     out.push_str("  \"msg_plane\": [\n");
     for (i, row) in msg_plane.iter().enumerate() {
@@ -555,6 +569,51 @@ fn check_schema(text: &str) -> Result<(), String> {
             .and_then(json::Json::as_u64)
             .ok_or_else(|| format!("throughput: missing integer `{field}`"))?;
     }
+    let conformance = root
+        .get("conformance")
+        .ok_or("missing object `conformance`")?;
+    for field in ["zoo_size", "checked"] {
+        conformance
+            .get(field)
+            .and_then(json::Json::as_u64)
+            .ok_or_else(|| format!("conformance: missing integer `{field}`"))?;
+    }
+    conformance
+        .get("online_offline_agree")
+        .and_then(json::Json::as_bool)
+        .ok_or("conformance: missing bool `online_offline_agree`")?;
+    let classes = conformance
+        .get("classes")
+        .and_then(json::Json::as_array)
+        .ok_or("conformance: missing array `classes`")?;
+    if classes.is_empty() {
+        return Err("`conformance.classes` is empty".to_owned());
+    }
+    for (i, entry) in classes.iter().enumerate() {
+        entry
+            .get("class")
+            .and_then(json::Json::as_str)
+            .ok_or_else(|| format!("conformance class {i}: missing string `class`"))?;
+        for field in ["instances", "clean"] {
+            entry
+                .get(field)
+                .and_then(json::Json::as_u64)
+                .ok_or_else(|| format!("conformance class {i}: missing integer `{field}`"))?;
+        }
+        entry
+            .get("worst_rank")
+            .and_then(json::Json::as_i64)
+            .ok_or_else(|| format!("conformance class {i}: missing integer `worst_rank`"))?;
+        match entry.get("worst_name") {
+            Some(json::Json::Null) => {}
+            Some(v) if v.as_str().is_some() => {}
+            _ => {
+                return Err(format!(
+                    "conformance class {i}: `worst_name` must be a string or null"
+                ))
+            }
+        }
+    }
     let msg_plane = root
         .get("msg_plane")
         .and_then(json::Json::as_array)
@@ -573,6 +632,39 @@ fn check_schema(text: &str) -> Result<(), String> {
                 .and_then(json::Json::as_u64)
                 .ok_or_else(|| format!("msg_plane {i}: missing integer `{field}`"))?;
         }
+    }
+    Ok(())
+}
+
+/// Asserts the report's overhead triple sits inside the envelope:
+/// `noop_ns` within `factor`× of `baseline_ns` (disabled instrumentation
+/// must be near-free; `factor` is slack for nanosecond-scale timer
+/// noise), and `sharded_ns` within `10·factor`× (the live recorder does
+/// real work, so it gets an order of magnitude more headroom).
+fn assert_overhead(text: &str, factor: u64) -> Result<(), String> {
+    let root = json::parse(text).map_err(|e| e.to_string())?;
+    let overhead = root.get("overhead").ok_or("missing object `overhead`")?;
+    let field = |name: &str| {
+        overhead
+            .get(name)
+            .and_then(json::Json::as_u64)
+            .ok_or_else(|| format!("overhead: missing integer `{name}`"))
+    };
+    let baseline = field("baseline_ns")?.max(1);
+    let noop = field("noop_ns")?;
+    let sharded = field("sharded_ns")?;
+    if noop > baseline * factor {
+        return Err(format!(
+            "noop recorder overhead out of envelope: {noop}ns vs {baseline}ns baseline \
+             (allowed {factor}x)"
+        ));
+    }
+    if sharded > baseline * factor * 10 {
+        return Err(format!(
+            "sharded recorder overhead out of envelope: {sharded}ns vs {baseline}ns baseline \
+             (allowed {}x)",
+            factor * 10
+        ));
     }
     Ok(())
 }
@@ -598,12 +690,26 @@ fn main() -> ExitCode {
 
     let quick = take_flag(&mut args, "--quick");
     let check = take_value(&mut args, "--check-schema");
+    let assert_factor = take_value(&mut args, "--assert-overhead");
     let out = take_value(&mut args, "--out").unwrap_or_else(|| "BENCH_rrfd.json".to_owned());
     if let Some(extra) = args.first() {
         eprintln!("unexpected argument {extra:?}");
-        eprintln!("usage: report [--quick] [--out PATH] | report --check-schema PATH");
+        eprintln!(
+            "usage: report [--quick] [--out PATH] [--assert-overhead X] | \
+             report --check-schema PATH"
+        );
         return ExitCode::from(2);
     }
+    let assert_factor: Option<u64> = match assert_factor {
+        Some(v) => match v.parse() {
+            Ok(f) if f > 0 => Some(f),
+            _ => {
+                eprintln!("--assert-overhead needs a positive integer factor, got {v:?}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
 
     if let Some(path) = check {
         if path.is_empty() {
@@ -639,5 +745,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {out}");
+    if let Some(factor) = assert_factor {
+        if let Err(e) = assert_overhead(&report, factor) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("overhead triple within the {factor}x envelope");
+    }
     ExitCode::SUCCESS
 }

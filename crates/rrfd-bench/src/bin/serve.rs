@@ -10,15 +10,20 @@
 //! five-class tenant mix of `MixSpec::DEFAULT_SPEC`) through the sharded
 //! batch pool and through the naive sequential loop, then reports
 //! instances/sec, p99 per-round step latency (from the pool's
-//! `rrfd_pool_round_latency_ns` histogram), and the speedup. When the
-//! `--out` report file (default `BENCH_rrfd.json`) exists, its
-//! `throughput` section is replaced with this measurement and the result
-//! is re-validated against the `rrfd-bench v1` schema reader; a missing
-//! file is a warning, not an error, so `serve` is usable standalone.
+//! `rrfd_pool_round_latency_ns` histogram), and the speedup, plus a
+//! per-class zoo-conformance table (monitored / clean / worst surviving
+//! predicate, from a separate flight-armed conformance pass so monitor
+//! cost never pollutes the throughput number). When the `--out` report
+//! file (default `BENCH_rrfd.json`) exists, its `throughput` section is
+//! replaced with this measurement and the result is re-validated against
+//! the `rrfd-bench v1` schema reader; a missing file is a warning, not
+//! an error, so `serve` is usable standalone.
 //!
 //! `--quick` shrinks the default instance count for CI smoke runs.
 
-use rrfd_bench::{measure_throughput, render_throughput_line, splice_throughput};
+use rrfd_bench::{
+    measure_conformance, measure_throughput, render_throughput_line, splice_throughput,
+};
 use rrfd_engine_pool::MixSpec;
 use rrfd_obs::json;
 use std::process::ExitCode;
@@ -111,6 +116,36 @@ fn main() -> ExitCode {
         speedup / 100,
         speedup % 100
     );
+
+    // Conformance pass: a separate, smaller, flight-armed batch so the
+    // monitor never pollutes the throughput numbers above.
+    let conf_instances = instances.min(1_000);
+    eprintln!("monitoring zoo conformance ({conf_instances} instances)...");
+    let conformance = measure_conformance(&mix, conf_instances, shards, SEED);
+    println!(
+        "conformance    zoo of {} @ f=1, online/offline agree: {}",
+        conformance.zoo_size, conformance.online_offline_agree
+    );
+    println!("  class                      monitored  clean  worst surviving predicate");
+    for class in &conformance.classes {
+        let worst = match (&class.worst_name, class.worst_rank) {
+            (Some(name), rank) => format!("{name} (rank {rank})"),
+            (None, _) => "none — some instance left the whole zoo".to_owned(),
+        };
+        println!(
+            "  {:<26} {:>9}  {:>5}  {worst}",
+            class.class, class.instances, class.clean
+        );
+    }
+    if !conformance.flight_dumps.is_empty() {
+        eprintln!(
+            "{} shard flight dump(s) captured from mid-batch errors (first shown):",
+            conformance.flight_dumps.len()
+        );
+        for line in conformance.flight_dumps[0].lines().take(6) {
+            eprintln!("  | {line}");
+        }
+    }
 
     // Publish: splice the section into the existing report and
     // re-validate, leaving the file untouched on any failure.

@@ -8,12 +8,19 @@
 //! round engine kept as the ablation baseline for the zero-copy message
 //! plane (and as the reference semantics the differential equivalence
 //! tests compare against); of [`stats`], the one quantile definition all
-//! bench binaries share; and of [`throughput`], the batch-throughput
-//! harness behind `--bin serve` and the report's `throughput` section.
+//! bench binaries share; of [`throughput`], the batch-throughput
+//! harness behind `--bin serve` and the report's `throughput` section;
+//! and of [`conformance`], the zoo-conformance measurement behind the
+//! report's `conformance` section and its online/offline differential
+//! check.
 
+pub mod conformance;
 pub mod stats;
 pub mod throughput;
 
+pub use conformance::{
+    measure_conformance, offline_conformance, render_conformance_block, ConformanceSection,
+};
 pub use stats::quantile;
 pub use throughput::{
     measure_throughput, render_throughput_line, splice_throughput, ThroughputRow,

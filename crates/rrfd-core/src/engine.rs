@@ -20,7 +20,7 @@ use crate::idset::IdSet;
 use crate::pattern::{FaultPattern, RoundFaults};
 use crate::predicate::{validate_round, PatternViolation, RrfdPredicate};
 use crate::trace::{RunTrace, TraceBuilder, TraceOutcome};
-use rrfd_obs::{names, Labels, Obs};
+use rrfd_obs::{names, Labels, Obs, SpanKind, SpanPhase};
 use std::fmt;
 
 /// A round-by-round fault detector, viewed as an adversary: at each round it
@@ -284,6 +284,7 @@ pub struct Engine {
     n: SystemSize,
     max_rounds: u32,
     obs: Obs,
+    instance: u64,
 }
 
 /// Default bound on rounds before the engine reports
@@ -299,6 +300,7 @@ impl Engine {
             n,
             max_rounds: DEFAULT_MAX_ROUNDS,
             obs: Obs::noop(),
+            instance: 0,
         }
     }
 
@@ -317,6 +319,16 @@ impl Engine {
     #[must_use]
     pub fn obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Sets the instance id stamped on this engine's causal spans. Span
+    /// and parent ids are pure functions of `(instance, round, process)`,
+    /// so multiplexed substrates (the batch pool) give each admitted run
+    /// a distinct id to keep their span trees disjoint. Defaults to 0.
+    #[must_use]
+    pub fn instance(mut self, instance: u64) -> Self {
+        self.instance = instance;
         self
     }
 
@@ -485,6 +497,9 @@ impl Engine {
             n: self.n,
             max_rounds: self.max_rounds,
             obs: self.obs.clone(),
+            instance: self.instance,
+            run_start_ns: self.obs.now_ns(),
+            round_hook: None,
             protocols,
             detector,
             model,
@@ -496,6 +511,28 @@ impl Engine {
             finished_trace: None,
             done: None,
         })
+    }
+}
+
+/// A per-round observation callback installed on an [`EngineRun`] via
+/// [`EngineRun::set_round_hook`]: called once per executed round with the
+/// validated (or, on the violation path, violating) suspicion sets —
+/// exactly the rounds a captured [`RunTrace`] would record. This is the
+/// seam the conformance monitor hangs off: substrates that multiplex runs
+/// (the batch pool) feed each instance's monitor without the engine
+/// knowing what a predicate zoo is.
+pub struct RoundHook(Box<dyn FnMut(&RoundFaults) + Send>);
+
+impl RoundHook {
+    /// Wraps `hook` as a round observation callback.
+    pub fn new<F: FnMut(&RoundFaults) + Send + 'static>(hook: F) -> Self {
+        RoundHook(Box::new(hook))
+    }
+}
+
+impl fmt::Debug for RoundHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RoundHook(..)")
     }
 }
 
@@ -537,6 +574,9 @@ pub struct EngineRun<P: RoundProtocol, D, Q> {
     n: SystemSize,
     max_rounds: u32,
     obs: Obs,
+    instance: u64,
+    run_start_ns: u64,
+    round_hook: Option<RoundHook>,
     protocols: Vec<P>,
     detector: D,
     model: Q,
@@ -576,6 +616,20 @@ where
         self.done.is_some()
     }
 
+    /// Installs (or replaces) the per-round observation hook; see
+    /// [`RoundHook`].
+    pub fn set_round_hook(&mut self, hook: RoundHook) {
+        self.round_hook = Some(hook);
+    }
+
+    /// Overrides the instance id stamped on this run's causal spans
+    /// (normally inherited from [`Engine::instance`]). The pool calls this
+    /// per admitted instance so span trees from multiplexed runs stay
+    /// disjoint.
+    pub fn set_instance(&mut self, instance: u64) {
+        self.instance = instance;
+    }
+
     /// Executes one round (emit → detect/validate → deliver), or reports
     /// [`EngineStep::Finished`] without executing anything when the run is
     /// already terminal.
@@ -611,13 +665,32 @@ where
             Labels::round(round_no),
             n as u64,
         );
+        self.obs.close_span(
+            self.instance,
+            SpanKind::Phase(SpanPhase::Emit),
+            round_no,
+            None,
+            span.start_ns(),
+        );
 
         // The detector chooses and the engine validates D(·, r).
         let faults = self.detector.next_round(round, &self.pattern);
         if let Err(violation) = validate_round(&self.model, &self.pattern, &faults) {
             self.obs
                 .add(names::ENGINE_VIOLATIONS, Labels::round(round_no), 1);
+            if let Some(RoundHook(hook)) = self.round_hook.as_mut() {
+                // The hook sees the violating round too — it is exactly
+                // what a captured trace records as evidence.
+                hook(&faults);
+            }
             self.obs.round_exit(names::ENGINE_ROUND_LATENCY, span);
+            self.obs.close_span(
+                self.instance,
+                SpanKind::Round,
+                round_no,
+                None,
+                span.start_ns(),
+            );
             // Keep the offending round in the trace: it is the evidence.
             if let Some(t) = self.trace.as_mut() {
                 t.record_violating_round(faults);
@@ -631,6 +704,7 @@ where
 
         // Receive phase: p_i sees m_{j,r} iff j ∉ D(i,r), through a
         // masked view of the shared table.
+        let deliver_start = self.obs.now_ns();
         let mut heard: Option<Vec<IdSet>> = self.trace.is_some().then(|| Vec::with_capacity(n));
         for (i, protocol) in self.protocols.iter_mut().enumerate() {
             let me = ProcessId::new(i);
@@ -670,15 +744,39 @@ where
                         Labels::process_round(i, round_no),
                         1,
                     );
+                    self.obs.close_span(
+                        self.instance,
+                        SpanKind::Phase(SpanPhase::Decide),
+                        round_no,
+                        Some(i as u32),
+                        deliver_start,
+                    );
                 }
             }
         }
 
+        self.obs.close_span(
+            self.instance,
+            SpanKind::Phase(SpanPhase::Deliver),
+            round_no,
+            None,
+            deliver_start,
+        );
         if let (Some(t), Some(h)) = (self.trace.as_mut(), heard.take()) {
             t.record_round(&faults, h);
         }
+        if let Some(RoundHook(hook)) = self.round_hook.as_mut() {
+            hook(&faults);
+        }
         self.pattern.push(faults);
         self.obs.round_exit(names::ENGINE_ROUND_LATENCY, span);
+        self.obs.close_span(
+            self.instance,
+            SpanKind::Round,
+            round_no,
+            None,
+            span.start_ns(),
+        );
         self.next_round = round_no + 1;
 
         if self.decisions.iter().all(Option::is_some) {
@@ -724,6 +822,8 @@ where
     }
 
     fn finish(&mut self, result: Result<RunReport<P::Output>, EngineError>, outcome: TraceOutcome) {
+        self.obs
+            .close_span(self.instance, SpanKind::Run, 0, None, self.run_start_ns);
         self.finished_trace = self.trace.take().map(|t| t.finish(outcome));
         self.done = Some(result);
     }
@@ -1239,5 +1339,100 @@ mod tests {
         assert_eq!(d0, (1, Round::new(1)), "first decision must be kept");
         assert_eq!(report.decisions[1].unwrap().0, 99);
         assert_eq!(report.rounds_executed, 3);
+    }
+
+    #[test]
+    fn spans_record_the_causal_tree_per_round() {
+        use rrfd_obs::{SpanKind, SpanPhase};
+
+        let size = n(3);
+        let obs = Obs::logical();
+        let protos: Vec<_> = (0..3).map(|_| DecideAfter::new(2)).collect();
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![],
+        };
+        Engine::new(size)
+            .obs(obs.clone())
+            .instance(7)
+            .run(protos, &mut det, &AnyPattern::new(size))
+            .unwrap();
+
+        let spans = obs.spans();
+        // 2 rounds × (round + emit + deliver) + 3 decide spans + 1 run span.
+        assert_eq!(spans.len(), 2 * 3 + 3 + 1);
+        assert!(spans.iter().all(|s| s.instance == 7));
+        let runs: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Run).collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].parent_id(), 0, "the run span is the root");
+        for s in &spans {
+            match s.kind {
+                SpanKind::Run => {}
+                SpanKind::Round => assert_eq!(s.parent_id(), runs[0].id()),
+                SpanKind::Phase(_) => {
+                    let round = spans
+                        .iter()
+                        .find(|r| r.kind == SpanKind::Round && r.round == s.round)
+                        .expect("every phase span has its round span");
+                    assert_eq!(s.parent_id(), round.id());
+                }
+            }
+            assert!(s.end_ns >= s.start_ns);
+        }
+        let decides: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Phase(SpanPhase::Decide))
+            .collect();
+        assert_eq!(decides.len(), 3);
+        assert!(decides.iter().all(|s| s.round == 2 && s.process.is_some()));
+    }
+
+    #[test]
+    fn noop_obs_records_no_spans() {
+        let size = n(2);
+        let engine = Engine::new(size);
+        let protos: Vec<_> = (0..2).map(|_| DecideAfter::new(1)).collect();
+        let mut det = FixedDetector {
+            n: size,
+            per_round: vec![],
+        };
+        engine
+            .run(protos, &mut det, &AnyPattern::new(size))
+            .unwrap();
+        assert!(engine.obs.spans().is_empty());
+    }
+
+    #[test]
+    fn round_hook_sees_every_round_including_the_violating_one() {
+        use std::sync::{Arc, Mutex};
+
+        let size = n(3);
+        let mut bad = RoundFaults::none(size);
+        bad.set(ProcessId::new(1), IdSet::universe(size));
+        let det = FixedDetector {
+            n: size,
+            per_round: vec![RoundFaults::none(size), bad.clone()],
+        };
+        let protos: Vec<_> = (0..3).map(|_| DecideAfter::new(5)).collect();
+        let seen: Arc<Mutex<Vec<RoundFaults>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut run = Engine::new(size)
+            .start(protos, det, AnyPattern::new(size))
+            .unwrap();
+        run.set_round_hook(RoundHook::new(move |faults| {
+            sink.lock().unwrap().push(faults.clone());
+        }));
+        let finished = run.run_to_completion();
+        assert!(matches!(
+            finished.result,
+            Err(EngineError::Violation(PatternViolation::IllFormed { .. }))
+        ));
+
+        let rounds = seen.lock().unwrap();
+        // Round 1 (clean) and round 2 (the violating one, kept as
+        // evidence — mirroring what run_traced records).
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0], RoundFaults::none(size));
+        assert_eq!(rounds[1], bad);
     }
 }

@@ -53,7 +53,7 @@ mod trace;
 
 pub use engine::{
     Control, Delivery, Engine, EngineError, EngineRun, EngineStep, FaultDetector, FinishedRun,
-    RoundProtocol, RunReport, DEFAULT_MAX_ROUNDS,
+    RoundHook, RoundProtocol, RunReport, DEFAULT_MAX_ROUNDS,
 };
 pub use events::{Actor, EventLog, RtEvent, RtEventKind};
 pub use full_info::{KnowledgeMatrix, KnowledgeProtocol, KnowledgeState};

@@ -36,7 +36,7 @@ pub mod slab;
 
 pub use mix::{ClassKind, ClassSpec, MixError, MixSpec, Stall};
 pub use pool::{
-    run_batch, run_sequential, BatchReport, ClassTotals, InstanceClass, InstanceResult, PoolConfig,
-    RunSummary, DEFAULT_WINDOW,
+    run_batch, run_sequential, BatchReport, ClassConformance, ClassTotals, InstanceClass,
+    InstanceConformance, InstanceResult, PoolConfig, RunSummary, DEFAULT_WINDOW,
 };
 pub use slab::Slab;

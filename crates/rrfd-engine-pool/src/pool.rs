@@ -37,10 +37,19 @@ use crate::mix::{
 use crate::slab::Slab;
 use rrfd_core::task::Value;
 use rrfd_core::{
-    Engine, EngineError, EngineRun, EngineStep, FaultDetector, RoundProtocol, RrfdPredicate,
-    RunReport, RunTrace, SystemSize,
+    Engine, EngineError, EngineRun, EngineStep, FaultDetector, RoundHook, RoundProtocol,
+    RrfdPredicate, RunReport, RunTrace, SystemSize,
 };
-use rrfd_obs::{names, Labels, Obs};
+use rrfd_models::conformance::{ConformanceMonitor, ConformanceVerdict};
+use rrfd_obs::{names, FlightRecorder, Labels, Obs, DEFAULT_FLIGHT_ROUNDS};
+use std::sync::{Arc, Mutex};
+
+/// The zoo resilience parameter pool conformance monitors use: every
+/// monitored instance is checked against `zoo(n, 1)` — the weakest
+/// non-trivial resilience, so the verdict orders runs by how benign
+/// their adversary actually was rather than by what the class's model
+/// permits.
+const CONF_ZOO_F: usize = 1;
 
 /// One tenant family a batch can run: how to build instance `id`'s
 /// protocols, adversary, and model predicate. Implementations must be
@@ -92,6 +101,52 @@ pub struct InstanceResult {
     pub outcome: Result<RunSummary, EngineError>,
     /// The run trace when [`PoolConfig::capture_traces`] is on.
     pub trace: Option<RunTrace>,
+    /// The zoo verdict when [`PoolConfig::conformance`] is on.
+    pub conformance: Option<InstanceConformance>,
+}
+
+/// One monitored instance's zoo verdict, summarized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceConformance {
+    /// Name and strength rank of the strongest zoo predicate the
+    /// instance's observed fault pattern still satisfies; `None` when
+    /// nothing held. Rank 0 is the top of the committed lattice.
+    pub strongest: Option<(String, usize)>,
+    /// `(predicate, first violation round)` per violated predicate.
+    pub violations: Vec<(String, u32)>,
+}
+
+impl InstanceConformance {
+    fn from_verdict(verdict: &ConformanceVerdict) -> Self {
+        InstanceConformance {
+            strongest: verdict
+                .strongest_satisfied()
+                .map(|s| (s.name.clone(), s.rank)),
+            violations: verdict
+                .statuses
+                .iter()
+                .filter_map(|s| s.first_violation.map(|r| (s.name.clone(), r.get())))
+                .collect(),
+        }
+    }
+}
+
+/// Folded zoo conformance for one mix class, in a [`BatchReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassConformance {
+    /// The class's spec entry, rendered (`kset:n=8:k=2:w=2`).
+    pub class: String,
+    /// Monitored instances.
+    pub instances: u64,
+    /// Instances whose entire zoo held for the whole run.
+    pub clean: u64,
+    /// The weakest strongest-satisfied rank across the class's
+    /// instances: the class's worst-case environment. `-1` when some
+    /// instance satisfied nothing at all.
+    pub worst_rank: i64,
+    /// Display name of the predicate behind `worst_rank`, when one
+    /// survived.
+    pub worst_name: Option<String>,
 }
 
 /// Per-class totals in a [`BatchReport`], in mix order.
@@ -125,6 +180,14 @@ pub struct BatchReport {
     /// Per-instance results, ascending by instance id; empty unless
     /// [`PoolConfig::keep_results`] was set.
     pub results: Vec<InstanceResult>,
+    /// Per-class zoo conformance, in mix order (classes that ran no
+    /// instances are omitted); empty unless [`PoolConfig::conformance`]
+    /// was set.
+    pub conformance: Vec<ClassConformance>,
+    /// Post-mortem flight captures from shards whose instances errored
+    /// mid-batch, in shard order (capped per shard); empty unless
+    /// [`PoolConfig::flight`] was set.
+    pub flight_dumps: Vec<String>,
 }
 
 /// Batch execution knobs.
@@ -135,6 +198,8 @@ pub struct PoolConfig {
     seed: u64,
     keep_results: bool,
     capture_traces: bool,
+    conformance: bool,
+    flight: bool,
     obs: Obs,
 }
 
@@ -154,6 +219,8 @@ impl PoolConfig {
             seed: 0,
             keep_results: false,
             capture_traces: false,
+            conformance: false,
+            flight: false,
             obs: Obs::noop(),
         }
     }
@@ -195,9 +262,34 @@ impl PoolConfig {
         self
     }
 
+    /// Attaches a live zoo conformance monitor to every instance: the
+    /// engine's round hook feeds each round's suspicions to a
+    /// per-instance [`ConformanceMonitor`] over `zoo(n, 1)`, and
+    /// verdicts are folded per class into [`BatchReport::conformance`]
+    /// (plus per-instance into kept results, and as
+    /// `rrfd_conformance_*` metrics through the attached handle).
+    #[must_use]
+    pub fn conformance(mut self, conformance: bool) -> Self {
+        self.conformance = conformance;
+        self
+    }
+
+    /// Arms the per-shard crash flight recorder: each shard keeps a
+    /// fixed-size ring of recent admission/retirement notes and, when an
+    /// instance errors mid-batch, captures a post-mortem dump into
+    /// [`BatchReport::flight_dumps`] (capped per shard — a stall-heavy
+    /// mix errors by design).
+    #[must_use]
+    pub fn flight(mut self, flight: bool) -> Self {
+        self.flight = flight;
+        self
+    }
+
     /// Attaches an observability handle; the pool then records the
     /// `rrfd_pool_*` metrics (instances, errors, rounds, per-step
-    /// latency histogram, buffer reuses) through it.
+    /// latency histogram, buffer reuses) through it, and every
+    /// instance's engine records its rounds, spans, and latencies
+    /// through the same handle (spans stamped with the instance id).
     #[must_use]
     pub fn obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
@@ -224,6 +316,91 @@ struct LaneTotals {
     errored: u64,
     rounds: u64,
     results: Vec<InstanceResult>,
+    conf: Option<LaneConf>,
+}
+
+/// A lane's running zoo-conformance fold.
+#[derive(Default)]
+struct LaneConf {
+    instances: u64,
+    clean: u64,
+    worst_rank: i64,
+    worst_name: Option<String>,
+}
+
+/// `true` when rank `b` is weaker than rank `a` in the committed
+/// lattice ordering: larger rank is weaker, and `-1` ("nothing
+/// satisfied") is weakest of all.
+fn weaker(a: i64, b: i64) -> bool {
+    match (a, b) {
+        (-1, _) => false,
+        (_, -1) => true,
+        _ => b > a,
+    }
+}
+
+impl LaneConf {
+    fn absorb(&mut self, summary: &InstanceConformance) {
+        let (rank, name) = summary
+            .strongest
+            .as_ref()
+            .map_or((-1, None), |(n, r)| (*r as i64, Some(n.clone())));
+        if self.instances == 0 || weaker(self.worst_rank, rank) {
+            self.worst_rank = rank;
+            self.worst_name = name;
+        }
+        self.instances += 1;
+        if summary.violations.is_empty() {
+            self.clean += 1;
+        }
+    }
+
+    fn merge(&mut self, other: LaneConf) {
+        if other.instances == 0 {
+            return;
+        }
+        if self.instances == 0 {
+            *self = other;
+            return;
+        }
+        if weaker(self.worst_rank, other.worst_rank) {
+            self.worst_rank = other.worst_rank;
+            self.worst_name = other.worst_name;
+        }
+        self.instances += other.instances;
+        self.clean += other.clean;
+    }
+}
+
+/// Per-shard crash flight recorder: a ring of recent admission and
+/// retirement notes (keyed by the shard's sweep counter) plus the dumps
+/// captured when instances error.
+struct ShardFlight {
+    recorder: FlightRecorder,
+    sweep: u32,
+    dumps: Vec<String>,
+    dump_cap: usize,
+}
+
+impl ShardFlight {
+    fn new() -> Self {
+        ShardFlight {
+            recorder: FlightRecorder::new(DEFAULT_FLIGHT_ROUNDS),
+            sweep: 1,
+            dumps: Vec::new(),
+            dump_cap: 8,
+        }
+    }
+
+    fn note(&mut self, line: String) {
+        self.recorder.note(self.sweep, line);
+    }
+
+    fn capture(&mut self, reason: &str) {
+        if self.dumps.len() < self.dump_cap {
+            self.dumps.push(self.recorder.dump(reason));
+        }
+    }
 }
 
 /// The type-erased face of one (shard, class) lane: the shard loop
@@ -231,9 +408,15 @@ struct LaneTotals {
 trait Lane: Send {
     /// Admits up to `budget` queued instances into the slab; returns
     /// how many were admitted.
-    fn admit(&mut self, budget: usize, obs: &Obs, shard: usize) -> usize;
+    fn admit(
+        &mut self,
+        budget: usize,
+        obs: &Obs,
+        shard: usize,
+        flight: Option<&mut ShardFlight>,
+    ) -> usize;
     /// Steps every live run one round, retiring finished ones.
-    fn sweep(&mut self, obs: &Obs, shard: usize);
+    fn sweep(&mut self, obs: &Obs, shard: usize, flight: Option<&mut ShardFlight>);
     /// Live (admitted, unfinished) instances.
     fn live(&self) -> usize;
     /// Queued (not yet admitted) instances.
@@ -245,6 +428,9 @@ trait Lane: Send {
 struct ActiveRun<C: InstanceClass> {
     id: u64,
     run: EngineRun<C::P, C::D, C::Q>,
+    /// The instance's live zoo monitor, shared with the run's round
+    /// hook; `None` unless [`PoolConfig::conformance`] is on.
+    monitor: Option<Arc<Mutex<ConformanceMonitor>>>,
 }
 
 /// One class's instances on one shard.
@@ -260,6 +446,7 @@ struct ClassLane<C: InstanceClass> {
     spare_cap: usize,
     keep_results: bool,
     capture_traces: bool,
+    conformance: bool,
     totals: LaneTotals,
 }
 
@@ -267,7 +454,9 @@ impl<C: InstanceClass> ClassLane<C> {
     fn new(class: C, class_index: usize, ids: Vec<u64>, config: &PoolConfig) -> Self {
         let mut queue = ids;
         queue.reverse();
-        let engine = Engine::new(class.system_size()).max_rounds(class.max_rounds());
+        let engine = Engine::new(class.system_size())
+            .max_rounds(class.max_rounds())
+            .obs(config.obs.clone());
         ClassLane {
             class,
             engine,
@@ -277,17 +466,27 @@ impl<C: InstanceClass> ClassLane<C> {
             spare_cap: config.window,
             keep_results: config.keep_results,
             capture_traces: config.capture_traces,
+            conformance: config.conformance,
             totals: LaneTotals {
                 class_index,
                 completed: 0,
                 errored: 0,
                 rounds: 0,
                 results: Vec::new(),
+                conf: config.conformance.then(LaneConf::default),
             },
         }
     }
 
-    fn retire(&mut self, id: u64, run: EngineRun<C::P, C::D, C::Q>, obs: &Obs, shard: usize) {
+    fn retire(
+        &mut self,
+        id: u64,
+        run: EngineRun<C::P, C::D, C::Q>,
+        monitor: Option<Arc<Mutex<ConformanceMonitor>>>,
+        obs: &Obs,
+        shard: usize,
+        flight: Option<&mut ShardFlight>,
+    ) {
         // Already finished: run_to_completion only dismantles.
         let finished = run.run_to_completion();
         match &finished.result {
@@ -300,11 +499,38 @@ impl<C: InstanceClass> ClassLane<C> {
                     Labels::process(shard),
                     u64::from(report.rounds_executed),
                 );
+                if let Some(f) = flight {
+                    f.note(format!(
+                        "instance {id} ({}) decided after {} rounds",
+                        self.class.name(),
+                        report.rounds_executed
+                    ));
+                }
             }
-            Err(_) => {
+            Err(error) => {
                 self.totals.errored += 1;
                 obs.add(names::POOL_ERRORS, Labels::process(shard), 1);
+                if let Some(f) = flight {
+                    f.note(format!(
+                        "instance {id} ({}) errored: {error}",
+                        self.class.name()
+                    ));
+                    f.capture(&format!(
+                        "instance {id} ({}) errored mid-batch on shard {shard}: {error}",
+                        self.class.name()
+                    ));
+                }
             }
+        }
+        let conformance = monitor.map(|monitor| {
+            let mon = monitor
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            mon.record(obs);
+            InstanceConformance::from_verdict(&mon.verdict())
+        });
+        if let (Some(conf), Some(summary)) = (self.totals.conf.as_mut(), conformance.as_ref()) {
+            conf.absorb(summary);
         }
         if self.spares.len() < self.spare_cap {
             self.spares.push(finished.buffer);
@@ -316,9 +542,31 @@ impl<C: InstanceClass> ClassLane<C> {
                 shard,
                 outcome: summarize(finished.result),
                 trace: finished.trace,
+                conformance,
             });
         }
     }
+}
+
+/// Builds instance `id`'s live zoo monitor and installs the round hook
+/// that feeds it.
+fn attach_monitor<P, D, Q>(
+    run: &mut EngineRun<P, D, Q>,
+    n: SystemSize,
+) -> Arc<Mutex<ConformanceMonitor>>
+where
+    P: RoundProtocol,
+    D: FaultDetector,
+    Q: RrfdPredicate,
+{
+    let monitor = Arc::new(Mutex::new(ConformanceMonitor::zoo(n, CONF_ZOO_F)));
+    let sink = Arc::clone(&monitor);
+    run.set_round_hook(RoundHook::new(move |faults| {
+        sink.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .observe(faults);
+    }));
+    monitor
 }
 
 fn summarize(result: Result<RunReport<Value>, EngineError>) -> Result<RunSummary, EngineError> {
@@ -340,7 +588,13 @@ where
     C::D: Send,
     C::Q: Send,
 {
-    fn admit(&mut self, budget: usize, obs: &Obs, shard: usize) -> usize {
+    fn admit(
+        &mut self,
+        budget: usize,
+        obs: &Obs,
+        shard: usize,
+        mut flight: Option<&mut ShardFlight>,
+    ) -> usize {
         let mut admitted = 0;
         while admitted < budget {
             let Some(id) = self.queue.pop() else { break };
@@ -364,8 +618,15 @@ where
                     .start_with_buffer(protocols, detector, model, buffer)
             };
             match started {
-                Ok(run) => {
-                    self.slab.insert(ActiveRun { id, run });
+                Ok(mut run) => {
+                    run.set_instance(id);
+                    let monitor = self
+                        .conformance
+                        .then(|| attach_monitor(&mut run, self.class.system_size()));
+                    if let Some(f) = flight.as_deref_mut() {
+                        f.note(format!("admit instance {id} ({})", self.class.name()));
+                    }
+                    self.slab.insert(ActiveRun { id, run, monitor });
                     admitted += 1;
                 }
                 Err(error) => {
@@ -380,6 +641,7 @@ where
                             shard,
                             outcome: Err(error),
                             trace: None,
+                            conformance: None,
                         });
                     }
                 }
@@ -388,7 +650,7 @@ where
         admitted
     }
 
-    fn sweep(&mut self, obs: &Obs, shard: usize) {
+    fn sweep(&mut self, obs: &Obs, shard: usize, mut flight: Option<&mut ShardFlight>) {
         let timed = obs.is_enabled();
         for key in 0..self.slab.slot_count() {
             let finished = match self.slab.get_mut(key) {
@@ -411,7 +673,14 @@ where
             };
             if finished {
                 if let Some(active) = self.slab.remove(key) {
-                    self.retire(active.id, active.run, obs, shard);
+                    self.retire(
+                        active.id,
+                        active.run,
+                        active.monitor,
+                        obs,
+                        shard,
+                        flight.as_deref_mut(),
+                    );
                 }
             }
         }
@@ -472,8 +741,13 @@ fn lane_for(
 
 /// One shard's main loop: admit into the window, sweep every lane,
 /// repeat until every queued instance has been retired.
-fn run_shard(mut lanes: Vec<Box<dyn Lane>>, config: &PoolConfig, shard: usize) -> Vec<LaneTotals> {
+fn run_shard(
+    mut lanes: Vec<Box<dyn Lane>>,
+    config: &PoolConfig,
+    shard: usize,
+) -> (Vec<LaneTotals>, Vec<String>) {
     let obs = &config.obs;
+    let mut flight = config.flight.then(ShardFlight::new);
     loop {
         let live: usize = lanes.iter().map(|l| l.live()).sum();
         let mut budget = config.window.saturating_sub(live);
@@ -481,17 +755,21 @@ fn run_shard(mut lanes: Vec<Box<dyn Lane>>, config: &PoolConfig, shard: usize) -
             if budget == 0 {
                 break;
             }
-            budget -= lane.admit(budget, obs, shard);
+            budget -= lane.admit(budget, obs, shard, flight.as_mut());
         }
         for lane in &mut lanes {
-            lane.sweep(obs, shard);
+            lane.sweep(obs, shard, flight.as_mut());
+        }
+        if let Some(f) = flight.as_mut() {
+            f.sweep += 1;
         }
         let drained = lanes.iter().all(|l| l.live() == 0 && l.pending() == 0);
         if drained {
             break;
         }
     }
-    lanes.into_iter().map(Lane::into_totals).collect()
+    let dumps = flight.map_or_else(Vec::new, |f| f.dumps);
+    (lanes.into_iter().map(Lane::into_totals).collect(), dumps)
 }
 
 /// Runs `instances` instances of `mix` across the configured shards.
@@ -527,7 +805,7 @@ pub fn run_batch(mix: &MixSpec, instances: u64, config: &PoolConfig) -> BatchRep
         shard_lanes.push(lanes);
     }
 
-    let totals: Vec<Vec<LaneTotals>> = if shards <= 1 {
+    let shard_outputs: Vec<(Vec<LaneTotals>, Vec<String>)> = if shards <= 1 {
         shard_lanes
             .into_iter()
             .map(|lanes| run_shard(lanes, config, 0))
@@ -546,7 +824,7 @@ pub fn run_batch(mix: &MixSpec, instances: u64, config: &PoolConfig) -> BatchRep
             let mut first_panic = None;
             for handle in handles {
                 match handle.join() {
-                    Ok(totals) => collected.push(totals),
+                    Ok(output) => collected.push(output),
                     Err(payload) => {
                         if first_panic.is_none() {
                             first_panic = Some(payload);
@@ -561,7 +839,13 @@ pub fn run_batch(mix: &MixSpec, instances: u64, config: &PoolConfig) -> BatchRep
         })
     };
 
-    fold_report(mix, instances, shards, totals)
+    let mut totals = Vec::with_capacity(shard_outputs.len());
+    let mut flight_dumps = Vec::new();
+    for (shard_totals, dumps) in shard_outputs {
+        totals.push(shard_totals);
+        flight_dumps.extend(dumps);
+    }
+    fold_report(mix, instances, shards, totals, flight_dumps)
 }
 
 /// The naive baseline the batch pool is measured against: one fresh
@@ -581,6 +865,7 @@ pub fn run_sequential(mix: &MixSpec, instances: u64, config: &PoolConfig) -> Bat
             errored: 0,
             rounds: 0,
             results: Vec::new(),
+            conf: config.conformance.then(LaneConf::default),
         })
         .collect();
     for id in 0..instances {
@@ -603,29 +888,63 @@ pub fn run_sequential(mix: &MixSpec, instances: u64, config: &PoolConfig) -> Bat
             }
             Err(_) => lane.errored += 1,
         }
+        if let (Some(conf), Some(summary)) = (lane.conf.as_mut(), result.conformance.as_ref()) {
+            conf.absorb(summary);
+        }
         if config.keep_results {
             lane.results.push(result);
         }
     }
-    fold_report(mix, instances, 1, vec![totals])
+    fold_report(mix, instances, 1, vec![totals], Vec::new())
 }
 
 /// Runs a single instance of `class` to completion the naive way.
 fn run_one<C: InstanceClass>(class: &C, id: u64, config: &PoolConfig) -> InstanceResult {
-    let engine = Engine::new(class.system_size()).max_rounds(class.max_rounds());
-    let (protocols, mut detector, model) = class.build(id);
-    let (result, trace) = if config.capture_traces {
-        let (result, trace) = engine.run_traced(protocols, &mut detector, &model);
-        (result, Some(trace))
+    let engine = Engine::new(class.system_size())
+        .max_rounds(class.max_rounds())
+        .obs(config.obs.clone());
+    let (protocols, detector, model) = class.build(id);
+    // `start`/`start_traced` rather than `run`/`run_traced`: the
+    // resumable handle exposes the instance-id and round-hook seams,
+    // and a started run stepped to completion is decision- and
+    // trace-identical to a `run` call (the engine's contract).
+    let started = if config.capture_traces {
+        engine.start_traced(protocols, detector, model)
     } else {
-        (engine.run(protocols, &mut detector, &model), None)
+        engine.start(protocols, detector, model)
     };
+    let mut run = match started {
+        Ok(run) => run,
+        Err(error) => {
+            return InstanceResult {
+                instance: id,
+                class: class.name(),
+                shard: 0,
+                outcome: Err(error),
+                trace: None,
+                conformance: None,
+            }
+        }
+    };
+    run.set_instance(id);
+    let monitor = config
+        .conformance
+        .then(|| attach_monitor(&mut run, class.system_size()));
+    let finished = run.run_to_completion();
+    let conformance = monitor.map(|monitor| {
+        let mon = monitor
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        mon.record(&config.obs);
+        InstanceConformance::from_verdict(&mon.verdict())
+    });
     InstanceResult {
         instance: id,
         class: class.name(),
         shard: 0,
-        outcome: summarize(result),
-        trace,
+        outcome: summarize(finished.result),
+        trace: finished.trace,
+        conformance,
     }
 }
 
@@ -634,6 +953,7 @@ fn fold_report(
     instances: u64,
     shards: usize,
     totals: Vec<Vec<LaneTotals>>,
+    flight_dumps: Vec<String>,
 ) -> BatchReport {
     let mut classes: Vec<ClassTotals> = mix
         .classes()
@@ -643,6 +963,7 @@ fn fold_report(
             ..ClassTotals::default()
         })
         .collect();
+    let mut conf_acc: Vec<Option<LaneConf>> = (0..mix.classes().len()).map(|_| None).collect();
     let mut results = Vec::new();
     let mut completed = 0u64;
     let mut errored = 0u64;
@@ -656,9 +977,29 @@ fn fold_report(
             class.errored += lane.errored;
             class.rounds += lane.rounds;
         }
+        if let Some(lane_conf) = lane.conf {
+            match &mut conf_acc[lane.class_index] {
+                Some(acc) => acc.merge(lane_conf),
+                slot => *slot = Some(lane_conf),
+            }
+        }
         results.extend(lane.results);
     }
     results.sort_by_key(|r| r.instance);
+    let conformance = conf_acc
+        .into_iter()
+        .enumerate()
+        .filter_map(|(index, conf)| {
+            let conf = conf?;
+            (conf.instances > 0).then(|| ClassConformance {
+                class: mix.classes()[index].to_string(),
+                instances: conf.instances,
+                clean: conf.clean,
+                worst_rank: conf.worst_rank,
+                worst_name: conf.worst_name,
+            })
+        })
+        .collect();
     BatchReport {
         instances,
         completed,
@@ -667,6 +1008,8 @@ fn fold_report(
         shards,
         classes,
         results,
+        conformance,
+        flight_dumps,
     }
 }
 
@@ -751,5 +1094,73 @@ mod tests {
         assert_eq!(batch.errored, seq.errored);
         assert_eq!(batch.rounds, seq.rounds);
         assert_eq!(batch.classes, seq.classes);
+    }
+
+    #[test]
+    fn conformance_verdicts_fold_and_agree_with_the_baseline() {
+        let batch_config = PoolConfig::new(3)
+            .seed(11)
+            .conformance(true)
+            .keep_results(true);
+        let seq_config = PoolConfig::new(1)
+            .seed(11)
+            .conformance(true)
+            .keep_results(true);
+        let batch = run_batch(&mix(), 36, &batch_config);
+        let seq = run_sequential(&mix(), 36, &seq_config);
+
+        assert!(!batch.conformance.is_empty());
+        // Deterministic sharding ⇒ the folded verdicts agree exactly.
+        assert_eq!(batch.conformance, seq.conformance);
+        let monitored: u64 = batch.conformance.iter().map(|c| c.instances).sum();
+        assert_eq!(monitored, 36);
+        for class in &batch.conformance {
+            assert!(class.clean <= class.instances);
+            assert!(class.worst_rank >= -1);
+        }
+        // Per-instance verdicts agree too.
+        for (a, b) in batch.results.iter().zip(&seq.results) {
+            assert_eq!(a.instance, b.instance);
+            assert_eq!(a.conformance, b.conformance, "instance {}", a.instance);
+            assert!(a.conformance.is_some());
+        }
+    }
+
+    #[test]
+    fn erroring_instances_leave_flight_dumps() {
+        // Every stall instance errors, so the armed flight recorder
+        // must capture at least one dump per shard that saw one.
+        let mix = MixSpec::parse("stall:n=3:rounds=2:w=1,kset:n=4:k=1:w=1").unwrap();
+        let report = run_batch(&mix, 20, &PoolConfig::new(2).window(4).flight(true));
+        assert!(report.errored > 0);
+        assert!(!report.flight_dumps.is_empty());
+        for dump in &report.flight_dumps {
+            assert!(dump.starts_with("rrfd-flight v1\n"), "{dump}");
+            assert!(dump.contains("errored mid-batch on shard"), "{dump}");
+        }
+        // Unarmed runs carry none.
+        let quiet = run_batch(&mix, 20, &PoolConfig::new(2).window(4));
+        assert!(quiet.flight_dumps.is_empty());
+    }
+
+    #[test]
+    fn pool_spans_are_stamped_with_instance_ids() {
+        let obs = Obs::logical();
+        let config = PoolConfig::new(2).obs(obs.clone());
+        let _ = run_batch(&mix(), 9, &config);
+        let spans = obs.spans();
+        assert!(!spans.is_empty());
+        let mut instances: Vec<u64> = spans.iter().map(|s| s.instance).collect();
+        instances.sort_unstable();
+        instances.dedup();
+        assert_eq!(instances, (0..9).collect::<Vec<u64>>());
+        // Every instance's tree has exactly one run-span root.
+        for id in 0..9u64 {
+            let runs = spans
+                .iter()
+                .filter(|s| s.instance == id && s.kind == rrfd_obs::SpanKind::Run)
+                .count();
+            assert_eq!(runs, 1, "instance {id}");
+        }
     }
 }

@@ -18,11 +18,17 @@
 //! * [`enumerate`] — exhaustive enumeration of legal rounds for `n ≤ 4`,
 //!   enabling proofs-by-enumeration of the protocol theorems at small
 //!   sizes.
+//! * [`zoo`] — the standard 13-predicate family as boxed, thread-shareable
+//!   values, with a strength ranking derived from the committed lattice.
+//! * [`conformance`] — the online monitor deciding, round by round, which
+//!   zoo predicates a live run still conforms to.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod conformance;
 pub mod enumerate;
 pub mod predicates;
 pub mod submodel;
+pub mod zoo;

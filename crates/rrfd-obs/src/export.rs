@@ -103,16 +103,41 @@ impl Snapshot {
     }
 }
 
+/// Escapes a label value per the Prometheus text exposition-format
+/// grammar: inside `label="…"`, backslash, double-quote, and line-feed
+/// must appear as `\\`, `\"`, and `\n` respectively. Today's label
+/// values are numeric (`process`, `round`) or bucket bounds (`le`), but
+/// the exporter must not rely on that staying true — an unescaped quote
+/// or newline would silently corrupt the whole exposition.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 fn prom_labels(labels: Labels, le: Option<&str>) -> String {
     let mut parts = Vec::new();
     if let Some(p) = labels.process {
-        parts.push(format!("process=\"{p}\""));
+        parts.push(format!(
+            "process=\"{}\"",
+            escape_label_value(&p.to_string())
+        ));
     }
     if labels.round > 0 {
-        parts.push(format!("round=\"{}\"", labels.round));
+        parts.push(format!(
+            "round=\"{}\"",
+            escape_label_value(&labels.round.to_string())
+        ));
     }
     if let Some(le) = le {
-        parts.push(format!("le=\"{le}\""));
+        parts.push(format!("le=\"{}\"", escape_label_value(le)));
     }
     if parts.is_empty() {
         String::new()
@@ -272,6 +297,47 @@ mod tests {
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert!(line.starts_with("rrfd_"), "{line}");
         }
+    }
+
+    #[test]
+    fn label_values_are_escaped_per_the_exposition_grammar() {
+        // The grammar: label_value may contain any UTF-8 except the raw
+        // characters `\`, `"`, and line-feed, which must be written as
+        // the two-character sequences `\\`, `\"`, `\n`.
+        assert_eq!(escape_label_value("plain-123"), "plain-123");
+        assert_eq!(escape_label_value("back\\slash"), "back\\\\slash");
+        assert_eq!(escape_label_value("quo\"te"), "quo\\\"te");
+        assert_eq!(escape_label_value("new\nline"), "new\\nline");
+        assert_eq!(
+            escape_label_value("\\\"\n"),
+            "\\\\\\\"\\n",
+            "all three specials together"
+        );
+        // Escaping is idempotent on already-clean output: the escaped
+        // form contains no raw quote or newline.
+        for raw in ["a\\b", "a\"b", "a\nb", "\\\"\n\\\"\n"] {
+            let escaped = escape_label_value(raw);
+            assert!(!escaped.contains('\n'), "{escaped:?}");
+            let mut chars = escaped.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    // Every backslash starts a valid escape sequence.
+                    assert!(matches!(chars.next(), Some('\\' | '"' | 'n')));
+                } else {
+                    assert_ne!(c, '"', "unescaped quote in {escaped:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prom_labels_route_through_escaping() {
+        // Numeric labels are unaffected…
+        let text = sample().to_prometheus();
+        assert!(text.contains("{process=\"1\",round=\"1\"}"));
+        // …and a hostile `le` value cannot break out of its quotes.
+        let rendered = prom_labels(Labels::GLOBAL, Some("bad\"le\nvalue\\"));
+        assert_eq!(rendered, "{le=\"bad\\\"le\\nvalue\\\\\"}");
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! The flight recorder: a fixed-size ring of the most recent rounds'
+//! events, kept so that a failing run can ship its own evidence.
+//!
+//! Runtimes note one line per interesting event (`gathered p0..p3`,
+//! `suspected {2}`, `delivery to p1 failed`) under the round it happened
+//! in. The ring holds the last `cap` *rounds* — not lines — so a dump
+//! always covers a contiguous suffix of the run, every process included.
+//! Nothing is rendered until [`FlightRecorder::dump`] is called, which
+//! only happens on the error path; the happy path pays one `VecDeque`
+//! push per noted line and drops the whole thing on success.
+//!
+//! The dump format is versioned text (`rrfd-flight v1`), deliberately
+//! greppable rather than JSON: it is written for the human reading a
+//! failure report, and round-trips through nothing.
+
+use std::collections::VecDeque;
+
+/// Default number of recent rounds a flight recorder retains.
+pub const DEFAULT_FLIGHT_ROUNDS: usize = 8;
+
+/// A bounded ring of recent rounds' event lines.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cap: usize,
+    rounds: VecDeque<(u32, Vec<String>)>,
+    dropped: u64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_FLIGHT_ROUNDS)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `cap` rounds (minimum 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            rounds: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// How many rounds the ring retains.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Notes one event line under `round`. Rounds are expected to be
+    /// non-decreasing; a note for an already-evicted round is counted as
+    /// dropped rather than resurrecting the round out of order.
+    pub fn note(&mut self, round: u32, line: impl Into<String>) {
+        let line = line.into();
+        match self.rounds.back_mut() {
+            Some((r, lines)) if *r == round => {
+                lines.push(line);
+                return;
+            }
+            _ => {}
+        }
+        if let Some((_, lines)) = self.rounds.iter_mut().find(|(r, _)| *r == round) {
+            // A late note for a round that is still retained.
+            lines.push(line);
+            return;
+        }
+        if self.rounds.iter().any(|(r, _)| *r > round) {
+            // Out-of-order note for an already-evicted round.
+            self.dropped += 1;
+            return;
+        }
+        self.rounds.push_back((round, vec![line]));
+        while self.rounds.len() > self.cap {
+            if let Some((_, lines)) = self.rounds.pop_front() {
+                self.dropped += lines.len() as u64;
+            }
+        }
+    }
+
+    /// The rounds currently retained, ascending.
+    #[must_use]
+    pub fn rounds(&self) -> Vec<u32> {
+        self.rounds.iter().map(|(r, _)| *r).collect()
+    }
+
+    /// `true` when nothing has been noted (a dump would carry no rounds).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// Renders the post-mortem capture: an `rrfd-flight v1` header with
+    /// the failure `reason`, then every retained round's lines in order.
+    #[must_use]
+    pub fn dump(&self, reason: &str) -> String {
+        let mut out = String::from("rrfd-flight v1\n");
+        out.push_str(&format!("reason: {reason}\n"));
+        out.push_str(&format!(
+            "rounds-retained: {} (cap {})\n",
+            self.rounds.len(),
+            self.cap
+        ));
+        if self.dropped > 0 {
+            out.push_str(&format!("lines-evicted: {}\n", self.dropped));
+        }
+        for (round, lines) in &self.rounds {
+            out.push_str(&format!("round {round}:\n"));
+            for line in lines {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_only_the_last_cap_rounds() {
+        let mut fr = FlightRecorder::new(3);
+        for r in 1..=10u32 {
+            fr.note(r, format!("event in r{r}"));
+            fr.note(r, "second line");
+        }
+        assert_eq!(fr.rounds(), vec![8, 9, 10]);
+        let dump = fr.dump("test");
+        assert!(dump.starts_with("rrfd-flight v1\nreason: test\n"), "{dump}");
+        assert!(dump.contains("round 8:\n  event in r8\n  second line\n"));
+        assert!(!dump.contains("round 7:"));
+        assert!(dump.contains("lines-evicted: 14"));
+    }
+
+    #[test]
+    fn notes_for_the_same_round_group_together() {
+        let mut fr = FlightRecorder::new(4);
+        fr.note(1, "a");
+        fr.note(1, "b");
+        fr.note(2, "c");
+        fr.note(1, "late but round still retained");
+        assert_eq!(fr.rounds(), vec![1, 2]);
+        let dump = fr.dump("x");
+        assert!(dump.contains("round 1:\n  a\n  b\n  late but round still retained\n"));
+    }
+
+    #[test]
+    fn evicted_round_notes_are_dropped_not_resurrected() {
+        let mut fr = FlightRecorder::new(2);
+        for r in 1..=5u32 {
+            fr.note(r, "x");
+        }
+        fr.note(1, "ghost");
+        assert_eq!(fr.rounds(), vec![4, 5]);
+        assert!(!fr.dump("x").contains("ghost"));
+    }
+
+    #[test]
+    fn empty_recorder_dumps_header_only() {
+        let fr = FlightRecorder::new(8);
+        assert!(fr.is_empty());
+        let dump = fr.dump("early death");
+        assert!(dump.contains("reason: early death"));
+        assert!(dump.contains("rounds-retained: 0 (cap 8)"));
+    }
+
+    #[test]
+    fn zero_cap_is_clamped_to_one() {
+        let mut fr = FlightRecorder::new(0);
+        fr.note(1, "a");
+        fr.note(2, "b");
+        assert_eq!(fr.rounds(), vec![2]);
+    }
+}

@@ -33,14 +33,18 @@
 
 mod clock;
 mod export;
+pub mod flight;
 mod hist;
 pub mod json;
 pub mod names;
 mod recorder;
+pub mod span;
 
 pub use clock::{Clock, LogicalClock, WallClock};
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_ROUNDS};
 pub use hist::{Histogram, HistogramSnapshot, BUCKET_BOUNDS};
 pub use recorder::{Entry, Labels, MetricValue, NoopRecorder, Recorder, ShardedRecorder, Snapshot};
+pub use span::{SpanKind, SpanPhase, SpanRecord};
 
 use std::sync::Arc;
 
@@ -58,6 +62,14 @@ impl RoundSpan {
     #[must_use]
     pub fn labels(&self) -> Labels {
         self.labels
+    }
+
+    /// The clock reading taken when the span was opened. Lets a caller
+    /// derive causal [`SpanRecord`]s from the same read instead of
+    /// consulting the clock twice.
+    #[must_use]
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
     }
 }
 
@@ -179,6 +191,45 @@ impl Obs {
             .as_ref()
             .map_or_else(Snapshot::default, |i| i.recorder.snapshot())
     }
+
+    /// Retains a closed causal span (dropped by the no-op handle — the
+    /// same single branch as every other recording call).
+    pub fn record_span(&self, span: SpanRecord) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record_span(span);
+        }
+    }
+
+    /// Opens and immediately retains a span for `[start_ns, now]` — the
+    /// common shape when a phase is timed with one clock read at entry.
+    pub fn close_span(
+        &self,
+        instance: u64,
+        kind: SpanKind,
+        round: u32,
+        process: Option<u32>,
+        start_ns: u64,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record_span(SpanRecord {
+                instance,
+                kind,
+                round,
+                process,
+                start_ns,
+                end_ns: inner.clock.now_ns(),
+            });
+        }
+    }
+
+    /// The spans retained so far, in canonical export order (empty for
+    /// the no-op handle).
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.recorder.spans())
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +259,30 @@ mod tests {
             obs.snapshot().to_jsonl()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn spans_flow_through_the_handle_and_noop_drops_them() {
+        let noop = Obs::noop();
+        noop.close_span(0, SpanKind::Round, 1, None, 0);
+        assert!(noop.spans().is_empty());
+
+        let obs = Obs::logical();
+        let start = obs.now_ns();
+        obs.close_span(0, SpanKind::Run, 0, None, start);
+        obs.record_span(SpanRecord {
+            instance: 0,
+            kind: SpanKind::Phase(SpanPhase::Decide),
+            round: 3,
+            process: Some(1),
+            start_ns: 10,
+            end_ns: 20,
+        });
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, SpanKind::Run);
+        // Spans stay out of the metric snapshot.
+        assert!(obs.snapshot().entries().is_empty());
     }
 
     #[test]

@@ -128,3 +128,26 @@ pub const POOL_ROUND_LATENCY: &str = "rrfd_pool_round_latency_ns";
 pub const POOL_BUFFER_REUSES: &str = "rrfd_pool_buffer_reuses_total";
 /// Gauge: shards the batch ran on.
 pub const POOL_SHARDS: &str = "rrfd_pool_shards";
+
+// -- conformance monitor (rrfd-models::conformance) --------------------------
+//
+// The monitor watches one run's per-round suspicions and decides, for
+// each of the 13 zoo predicates, whether the run still conforms. The
+// predicate is identified by its zoo index carried in the `process`
+// label — a documented reuse of the bounded label schema (zoo size 13,
+// far below any process count the label was sized for).
+
+/// Counter: rounds the conformance monitor has observed.
+pub const CONF_ROUNDS: &str = "rrfd_conformance_rounds_total";
+/// Counter: individual predicate evaluations performed (≤ zoo size per
+/// round — already-violated predicates are not re-evaluated).
+pub const CONF_CHECKS: &str = "rrfd_conformance_checks_total";
+/// Gauge: `1` while the predicate at zoo index `process` is still
+/// satisfied by every observed round, `0` once violated.
+pub const CONF_SATISFIED: &str = "rrfd_conformance_satisfied";
+/// Gauge: the round in which the predicate at zoo index `process` was
+/// first violated (unset while it still holds).
+pub const CONF_FIRST_VIOLATION: &str = "rrfd_conformance_first_violation_round";
+/// Gauge: strength rank of the strongest zoo predicate the run still
+/// satisfies (lower = stronger; `-1` when nothing holds).
+pub const CONF_STRONGEST: &str = "rrfd_conformance_strongest_rank";

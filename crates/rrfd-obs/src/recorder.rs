@@ -11,6 +11,7 @@
 //! into an export.
 
 use crate::hist::{Histogram, HistogramSnapshot};
+use crate::span::{self, SpanRecord};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -153,6 +154,16 @@ pub trait Recorder: Send + Sync + std::fmt::Debug {
     fn observe(&self, metric: &'static str, labels: Labels, value: u64);
     /// Freezes the current contents into a sorted [`Snapshot`].
     fn snapshot(&self) -> Snapshot;
+    /// Retains a closed causal span. The default drops it, so recorders
+    /// that predate the tracing plane stay valid implementations.
+    fn record_span(&self, span: SpanRecord) {
+        let _ = span;
+    }
+    /// The spans retained so far, in canonical export order (empty for
+    /// recorders that do not retain spans).
+    fn spans(&self) -> Vec<SpanRecord> {
+        Vec::new()
+    }
 }
 
 /// The disabled recorder: drops everything.
@@ -188,12 +199,16 @@ const SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct ShardedRecorder {
     shards: Vec<Mutex<HashMap<(&'static str, Labels), Slot>>>,
+    /// Span storage, sharded by instance so the pool's parallel shards
+    /// (each driving a distinct instance range) rarely contend.
+    span_shards: Vec<Mutex<Vec<SpanRecord>>>,
 }
 
 impl Default for ShardedRecorder {
     fn default() -> Self {
         ShardedRecorder {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            span_shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
 }
@@ -290,6 +305,23 @@ impl Recorder for ShardedRecorder {
             }
         }
         Snapshot::from_entries(entries)
+    }
+
+    fn record_span(&self, span: SpanRecord) {
+        let mut shard = self.span_shards[(span.instance as usize) % SHARDS]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        shard.push(span);
+    }
+
+    fn spans(&self) -> Vec<SpanRecord> {
+        let mut all = Vec::new();
+        for shard in &self.span_shards {
+            let spans = shard.lock().unwrap_or_else(|e| e.into_inner());
+            all.extend_from_slice(&spans);
+        }
+        span::sort_canonical(&mut all);
+        all
     }
 }
 
@@ -388,5 +420,33 @@ mod tests {
         }
         let snap = rec.snapshot();
         assert_eq!(snap.counter_total("c"), 4000);
+    }
+
+    #[test]
+    fn spans_are_retained_and_canonically_ordered() {
+        use crate::span::{SpanKind, SpanRecord};
+        let rec = ShardedRecorder::new();
+        let mk = |instance: u64, round: u32, start: u64| SpanRecord {
+            instance,
+            kind: SpanKind::Round,
+            round,
+            process: None,
+            start_ns: start,
+            end_ns: start + 100,
+        };
+        rec.record_span(mk(1, 1, 0));
+        rec.record_span(mk(0, 2, 1000));
+        rec.record_span(mk(0, 1, 0));
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(
+            spans
+                .iter()
+                .map(|s| (s.instance, s.round))
+                .collect::<Vec<_>>(),
+            vec![(0, 1), (0, 2), (1, 1)]
+        );
+        // Spans never leak into the metric snapshot.
+        assert!(rec.snapshot().entries().is_empty());
     }
 }

@@ -25,8 +25,9 @@ use std::time::Duration;
 use crate::clock::RoundClock;
 use crate::sink::{EventSink, RtSink};
 use rrfd_core::{Actor, RtEventKind};
-use rrfd_obs::{names, Labels, Obs};
-use std::sync::Arc;
+use rrfd_models::conformance::ConformanceMonitor;
+use rrfd_obs::{names, FlightRecorder, Labels, Obs, SpanKind, SpanPhase, DEFAULT_FLIGHT_ROUNDS};
+use std::sync::{Arc, Mutex};
 
 /// Channel pair used between the coordinator and process threads.
 type EmissionChannel<M, O> = (Sender<Emission<M, O>>, Receiver<Emission<M, O>>);
@@ -227,6 +228,10 @@ pub struct ThreadedEngine {
     clock: RoundClock,
     sink: Option<Arc<dyn RtSink>>,
     obs: Obs,
+    instance: u64,
+    flight_rounds: u32,
+    flight_dump: Arc<Mutex<Option<String>>>,
+    conformance: Option<Arc<Mutex<ConformanceMonitor>>>,
 }
 
 impl ThreadedEngine {
@@ -240,6 +245,10 @@ impl ThreadedEngine {
             clock: RoundClock::new(),
             sink: None,
             obs: Obs::noop(),
+            instance: 0,
+            flight_rounds: DEFAULT_FLIGHT_ROUNDS as u32,
+            flight_dump: Arc::new(Mutex::new(None)),
+            conformance: None,
         }
     }
 
@@ -291,10 +300,79 @@ impl ThreadedEngine {
         self
     }
 
+    /// Sets the instance id stamped on this engine's causal spans (see
+    /// `rrfd_core::Engine::instance`). Defaults to 0.
+    #[must_use]
+    pub fn instance(mut self, instance: u64) -> Self {
+        self.instance = instance;
+        self
+    }
+
+    /// Overrides how many recent rounds the crash flight recorder retains
+    /// (default [`DEFAULT_FLIGHT_ROUNDS`]). `0` disables the recorder
+    /// entirely — no per-round notes are formatted.
+    ///
+    /// The flight recorder is always on otherwise: when a run ends in any
+    /// [`RunError`], a post-mortem capture of the last K rounds (gathers,
+    /// suspicion sets, deliveries, decisions) is stashed for
+    /// [`ThreadedEngine::take_flight_dump`].
+    #[must_use]
+    pub fn flight_rounds(mut self, rounds: u32) -> Self {
+        self.flight_rounds = rounds;
+        self
+    }
+
+    /// Attaches a live conformance monitor: the coordinator feeds it every
+    /// validated round's suspicion sets (and, on the violation path, the
+    /// violating round — the evidence), so the zoo verdict is available
+    /// the moment the run ends. Call
+    /// [`ConformanceMonitor::record`] afterwards to
+    /// export the verdict as `rrfd_conformance_*` metrics.
+    #[must_use]
+    pub fn conformance(mut self, monitor: Arc<Mutex<ConformanceMonitor>>) -> Self {
+        self.conformance = Some(monitor);
+        self
+    }
+
+    /// Takes the post-mortem flight dump left by the most recent failed
+    /// run, if any. Runs that succeed leave nothing; a second take returns
+    /// `None` until another run fails.
+    #[must_use]
+    pub fn take_flight_dump(&self) -> Option<String> {
+        self.flight_dump
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+
     /// Records one coordinator-side event, if a sink is installed.
     fn record(&self, kind: RtEventKind) {
         if let Some(sink) = &self.sink {
             sink.record(Actor::Coordinator, kind);
+        }
+    }
+
+    /// Stashes the flight recorder's post-mortem capture for
+    /// [`ThreadedEngine::take_flight_dump`], keyed by the terminal error.
+    fn stash_flight(&self, flight: &FlightRecorder, error: &ThreadedError) {
+        if self.flight_rounds == 0 {
+            return;
+        }
+        *self
+            .flight_dump
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some(flight.dump(&error.to_string()));
+    }
+
+    /// Feeds one round's suspicion sets to the attached conformance
+    /// monitor, if any.
+    fn observe_conformance(&self, faults: &rrfd_core::RoundFaults) {
+        if let Some(monitor) = &self.conformance {
+            monitor
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .observe(faults);
         }
     }
 
@@ -393,6 +471,8 @@ impl ThreadedEngine {
         D: FaultDetector + ?Sized,
         Q: RrfdPredicate + ?Sized,
     {
+        let mut flight = FlightRecorder::new(self.flight_rounds as usize);
+        let run_start_ns = self.obs.now_ns();
         let n = self.n.get();
         if protocols.len() != n {
             let error = ThreadedError::WrongProcessCount {
@@ -400,6 +480,7 @@ impl ThreadedEngine {
                 expected: n,
             };
             self.record_error(&error);
+            self.stash_flight(&flight, &error);
             return (Err(error), TraceOutcome::Aborted);
         }
 
@@ -462,7 +543,8 @@ impl ThreadedEngine {
         }
         drop(emit_tx);
 
-        let (result, outcome) = self.coordinate::<P>(&emit_rx, &reply_txs, detector, model, trace);
+        let (result, outcome) =
+            self.coordinate::<P>(&emit_rx, &reply_txs, detector, model, trace, &mut flight);
 
         // Stop every thread (ignore send failures: thread may be gone).
         for tx in &reply_txs {
@@ -485,7 +567,13 @@ impl ThreadedEngine {
         let result = attribute_panics(result, &mut panics);
         if let Err(error) = &result {
             self.record_error(error);
+            // The post-mortem capture is stashed *after* panic
+            // attribution so the dump header names the cause
+            // (ProcessPanicked), not the channel-level symptom.
+            self.stash_flight(&flight, error);
         }
+        self.obs
+            .close_span(self.instance, SpanKind::Run, 0, None, run_start_ns);
         self.clock.finish();
         (result, outcome)
     }
@@ -500,6 +588,7 @@ impl ThreadedEngine {
         detector: &mut (impl FaultDetector + ?Sized),
         model: &(impl RrfdPredicate + ?Sized),
         mut trace: Option<&mut TraceBuilder>,
+        flight: &mut FlightRecorder,
     ) -> (
         Result<ThreadedReport<P::Output>, ThreadedError>,
         TraceOutcome,
@@ -509,6 +598,7 @@ impl ThreadedEngine {
         P::Output: Clone,
     {
         let n = self.n.get();
+        let black_box = self.flight_rounds > 0;
         let mut decisions: Vec<Option<(P::Output, Round)>> = vec![None; n];
         let mut pattern = FaultPattern::new(self.n);
 
@@ -528,6 +618,17 @@ impl ThreadedEngine {
                     Err(_) => {
                         self.obs
                             .add(names::RUNTIME_GATHER_TIMEOUTS, Labels::round(round_no), 1);
+                        if black_box {
+                            let missing: Vec<usize> = messages
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(i, m)| m.is_none().then_some(i))
+                                .collect();
+                            flight.note(
+                                round_no,
+                                format!("gather timeout; emissions missing from {missing:?}"),
+                            );
+                        }
                         // A process whose emission is still missing this
                         // round is the dead one; if all slots are somehow
                         // filled, report the closed channel itself rather
@@ -548,6 +649,9 @@ impl ThreadedEngine {
                     from: emission.from,
                     round: emission.round,
                 });
+                if black_box {
+                    flight.note(round_no, format!("gather p{}", emission.from.index()));
+                }
                 if let Some(v) = emission.decided {
                     // Decision reached in the previous round's deliver.
                     if decisions[emission.from.index()].is_none() {
@@ -556,6 +660,23 @@ impl ThreadedEngine {
                         if let Some(t) = trace.as_deref_mut() {
                             t.record_decision(emission.from, decided_at);
                         }
+                        if black_box {
+                            flight.note(
+                                round_no,
+                                format!(
+                                    "p{} decided (in round {})",
+                                    emission.from.index(),
+                                    decided_at.get()
+                                ),
+                            );
+                        }
+                        self.obs.close_span(
+                            self.instance,
+                            SpanKind::Phase(SpanPhase::Decide),
+                            decided_at.get(),
+                            Some(emission.from.index() as u32),
+                            span.start_ns(),
+                        );
                         self.record(RtEventKind::Access {
                             loc: "decisions".to_owned(),
                             write: true,
@@ -577,9 +698,33 @@ impl ThreadedEngine {
                 );
             }
 
+            // The emit/gather phase of the round is over once every
+            // emission is in hand.
+            self.obs.close_span(
+                self.instance,
+                SpanKind::Phase(SpanPhase::Emit),
+                round_no,
+                None,
+                span.start_ns(),
+            );
+
             self.record(RtEventKind::Detect { round });
             let faults = detector.next_round(round, &pattern);
+            if black_box {
+                for i in 0..n {
+                    let suspected = faults.of(ProcessId::new(i));
+                    if !suspected.is_empty() {
+                        flight.note(round_no, format!("D(p{i}) = {suspected}"));
+                    }
+                }
+            }
             if let Err(violation) = validate_round(model, &pattern, &faults) {
+                if black_box {
+                    flight.note(round_no, format!("VIOLATION: {violation}"));
+                }
+                // The monitor sees the violating round too: it is the
+                // evidence the certificate replays.
+                self.observe_conformance(&faults);
                 if let Some(t) = trace.as_deref_mut() {
                     t.record_violating_round(faults);
                 }
@@ -588,10 +733,12 @@ impl ThreadedEngine {
                     TraceOutcome::Violation(violation),
                 );
             }
+            self.observe_conformance(&faults);
 
             // One shared emission table for the whole round: `n` reference
             // counts go out instead of `n` cloned vectors; each worker's
             // `Delivery` view masks its own suspected senders.
+            let deliver_start = self.obs.now_ns();
             let table = Arc::new(messages);
             let mut heard: Option<Vec<IdSet>> = trace.is_some().then(|| Vec::with_capacity(n));
             for (i, reply_tx) in reply_txs.iter().enumerate() {
@@ -618,12 +765,25 @@ impl ThreadedEngine {
                     })
                     .is_err()
                 {
+                    if black_box {
+                        flight.note(round_no, format!("deliver to p{i} failed: thread gone"));
+                    }
                     return (
                         Err(ThreadedError::ProcessDied { process: me }),
                         TraceOutcome::Aborted,
                     );
                 }
             }
+            if black_box {
+                flight.note(round_no, format!("delivered shared table to {n} processes"));
+            }
+            self.obs.close_span(
+                self.instance,
+                SpanKind::Phase(SpanPhase::Deliver),
+                round_no,
+                None,
+                deliver_start,
+            );
 
             if let (Some(t), Some(h)) = (trace.as_deref_mut(), heard.take()) {
                 t.record_round(&faults, h);
@@ -635,6 +795,13 @@ impl ThreadedEngine {
             pattern.push(faults);
             self.clock.advance(round_no);
             self.obs.round_exit(names::RUNTIME_ROUND_LATENCY, span);
+            self.obs.close_span(
+                self.instance,
+                SpanKind::Round,
+                round_no,
+                None,
+                span.start_ns(),
+            );
         }
 
         // Decisions piggyback on the *next* round's emission, so decisions
@@ -665,6 +832,12 @@ impl ThreadedEngine {
                     decisions[emission.from.index()] = Some((v, decided_at));
                     if let Some(t) = trace.as_deref_mut() {
                         t.record_decision(emission.from, decided_at);
+                    }
+                    if black_box {
+                        flight.note(
+                            self.max_rounds,
+                            format!("p{} decided (at the round limit)", emission.from.index()),
+                        );
                     }
                     self.record(RtEventKind::Access {
                         loc: "decisions".to_owned(),
@@ -1139,6 +1312,72 @@ mod tests {
                 .counter_total(rrfd_obs::names::RUNTIME_ERR_ROUND_LIMIT),
             1
         );
+    }
+
+    #[test]
+    fn failed_run_leaves_a_flight_dump_of_the_last_rounds() {
+        let size = n(2);
+        let protos: Vec<_> = (0..2)
+            .map(|i| SumAfter {
+                rounds: 1000,
+                acc: 0,
+                me: i,
+            })
+            .collect();
+        let engine = ThreadedEngine::new(size).max_rounds(20).flight_rounds(4);
+        let err = engine
+            .run(protos, &mut NoFailures::new(size), &AnyPattern::new(size))
+            .unwrap_err();
+        assert!(matches!(err, ThreadedError::RoundLimitExceeded { .. }));
+        let dump = engine.take_flight_dump().expect("failed run leaves a dump");
+        assert!(dump.starts_with("rrfd-flight v1\n"), "{dump}");
+        assert!(dump.contains("no full decision after 20 rounds"), "{dump}");
+        // Only the last K=4 rounds are retained: 17..=20.
+        assert!(dump.contains("round 20:"), "{dump}");
+        assert!(dump.contains("round 17:"), "{dump}");
+        assert!(!dump.contains("round 16:"), "{dump}");
+        // Taking the dump drains it.
+        assert!(engine.take_flight_dump().is_none());
+    }
+
+    #[test]
+    fn successful_run_leaves_no_flight_dump() {
+        let size = n(3);
+        let protos: Vec<_> = (0..3)
+            .map(|i| SumAfter {
+                rounds: 2,
+                acc: 0,
+                me: i,
+            })
+            .collect();
+        let engine = ThreadedEngine::new(size);
+        engine
+            .run(protos, &mut NoFailures::new(size), &AnyPattern::new(size))
+            .unwrap();
+        assert!(engine.take_flight_dump().is_none());
+    }
+
+    #[test]
+    fn conformance_monitor_follows_the_run_live() {
+        let size = n(3);
+        let monitor = Arc::new(Mutex::new(ConformanceMonitor::zoo(size, 1)));
+        let protos: Vec<_> = (0..3)
+            .map(|i| SumAfter {
+                rounds: 3,
+                acc: 0,
+                me: i,
+            })
+            .collect();
+        ThreadedEngine::new(size)
+            .conformance(Arc::clone(&monitor))
+            .run(protos, &mut NoFailures::new(size), &AnyPattern::new(size))
+            .unwrap();
+        let verdict = monitor.lock().unwrap().verdict();
+        // A failure-free run satisfies the whole zoo; the strongest
+        // surviving class is the top of the lattice.
+        assert!(verdict.rounds_observed >= 3);
+        let strongest = verdict.strongest_satisfied().expect("zoo satisfied");
+        assert_eq!(strongest.rank, 0);
     }
 
     #[test]

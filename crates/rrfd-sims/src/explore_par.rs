@@ -47,6 +47,7 @@ use crate::semi_sync::{
 use crate::shared_mem::{MemEvent, MemExecution, MemProcess, MemRunReport, SharedMemSim};
 use crate::trace::{SchedEvent, ScheduleTrace};
 use rrfd_core::{IdSet, ProcessId};
+use rrfd_obs::Obs;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -64,6 +65,7 @@ pub struct ParConfig {
     max_schedules: usize,
     memo_max_entries: usize,
     memo_max_bytes: usize,
+    obs: Obs,
 }
 
 impl ParConfig {
@@ -80,6 +82,7 @@ impl ParConfig {
             max_schedules: 1_000_000,
             memo_max_entries: usize::MAX,
             memo_max_bytes: usize::MAX,
+            obs: Obs::noop(),
         }
     }
 
@@ -136,6 +139,18 @@ impl ParConfig {
     pub fn memo_cap(mut self, entries: usize, bytes: usize) -> Self {
         self.memo_max_entries = entries;
         self.memo_max_bytes = bytes;
+        self
+    }
+
+    /// Attaches an instrumentation handle. The final, folded
+    /// [`ExploreStats`] of every search run with this configuration are
+    /// recorded under the `rrfd_explore_*` metric names — including
+    /// searches aborted by a counterexample, whose partial effort is
+    /// folded into the certificate and recorded the same way. The
+    /// default no-op handle records nothing.
+    #[must_use]
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -546,6 +561,7 @@ where
         let mut stats = expansion.stats;
         stats.workers = 1;
         if let Some(mut cex) = expansion.cex {
+            stats.record(&config.obs);
             cex.stats = stats;
             return Err(ParExploreError::Counterexample(Box::new(cex)));
         }
@@ -617,6 +633,7 @@ where
     }
     stats.workers = worker_count;
     stats.wall_splits = jobs.len();
+    stats.record(&config.obs);
     match first_cex {
         Some(mut cex) => {
             cex.stats = stats;
@@ -1266,6 +1283,78 @@ mod tests {
         let f = finished.load(Ordering::SeqCst);
         assert!(s >= 1, "no check ever ran");
         assert_eq!(s, f, "a worker outlived the re-raised panic");
+    }
+
+    #[test]
+    fn stats_are_recorded_through_the_obs_seam() {
+        use rrfd_obs::{names, Labels, MetricValue, Obs};
+
+        let sim = SharedMemSim::new(size(3), 1);
+        let obs = Obs::logical();
+        let config = ParConfig::new(2).obs(obs.clone());
+        let stats =
+            explore_shared_mem_par(&sim, || ring(3), |_| Ok(()), no_fingerprint, &config).unwrap();
+
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counter_total(names::EXPLORE_SCHEDULES),
+            stats.schedules as u64
+        );
+        assert_eq!(
+            snap.counter_total(names::EXPLORE_DECISION_POINTS),
+            stats.decision_points
+        );
+        assert_eq!(
+            snap.counter_total(names::EXPLORE_PRUNED_HASH),
+            stats.pruned_by_hash
+        );
+        assert_eq!(
+            snap.counter_total(names::EXPLORE_SPLITS),
+            stats.wall_splits as u64
+        );
+        assert_eq!(
+            snap.get(names::EXPLORE_MAX_DEPTH, Labels::GLOBAL),
+            Some(&MetricValue::Gauge(stats.max_depth as i64))
+        );
+        assert_eq!(
+            snap.get(names::EXPLORE_WORKERS, Labels::GLOBAL),
+            Some(&MetricValue::Gauge(stats.workers as i64))
+        );
+        assert_eq!(
+            snap.get(names::EXPLORE_MEMO_ENTRIES, Labels::GLOBAL),
+            Some(&MetricValue::Gauge(stats.memo_entries as i64))
+        );
+        assert_eq!(
+            snap.get(names::EXPLORE_MEMO_SATURATED, Labels::GLOBAL),
+            Some(&MetricValue::Gauge(0))
+        );
+
+        // A counterexample-aborted search still records its partial effort.
+        let obs_err = Obs::logical();
+        let check = |report: &MemRunReport<WriteRead, u64>| {
+            if report.outputs.iter().any(|o| o == &Some(None)) {
+                Err("missed write".to_owned())
+            } else {
+                Ok(())
+            }
+        };
+        let sim2 = SharedMemSim::new(size(2), 1);
+        let err = explore_shared_mem_par(
+            &sim2,
+            make_pair,
+            check,
+            no_fingerprint,
+            &ParConfig::new(2).obs(obs_err.clone()),
+        )
+        .unwrap_err();
+        let ParExploreError::Counterexample(cex) = err else {
+            panic!("expected a counterexample");
+        };
+        let snap_err = obs_err.snapshot();
+        assert_eq!(
+            snap_err.counter_total(names::EXPLORE_SCHEDULES),
+            cex.stats.schedules as u64
+        );
     }
 
     #[test]

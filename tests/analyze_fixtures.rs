@@ -129,6 +129,34 @@ fn stats_goldens_are_current() {
 }
 
 #[test]
+fn chrome_trace_golden_is_current() {
+    // `rrfd-analyze stats --trace-out` synthesizes a Chrome trace-event
+    // JSON file from a trace capture's causal structure; the CI
+    // `obs-trace` job loads this golden. Regenerate with
+    // `REGEN_FIXTURES=1 cargo test --test analyze_fixtures`.
+    let chrome = rrfd_analyze::stats::chrome_trace_text(&fixture("trace_clean.txt")).unwrap();
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/chrome_trace_clean.golden.json");
+    if std::env::var_os("REGEN_FIXTURES").is_some() {
+        std::fs::write(&path, &chrome).unwrap();
+    }
+    assert_eq!(
+        chrome,
+        fixture("chrome_trace_clean.golden.json"),
+        "chrome_trace_clean.golden.json is stale — regenerate with REGEN_FIXTURES=1"
+    );
+    // Sanity: the golden is well-formed Chrome trace JSON with the
+    // run-level span first after canonical ordering.
+    let parsed = rrfd_obs::json::parse(&chrome).expect("golden parses as JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    assert_eq!(events[0].get("name").and_then(|n| n.as_str()), Some("run"));
+}
+
+#[test]
 fn clean_events_fixture_passes_and_matches_real_instrumentation() {
     if std::env::var_os("REGEN_FIXTURES").is_some() {
         let path =

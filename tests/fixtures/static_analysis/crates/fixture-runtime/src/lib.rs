@@ -1,6 +1,7 @@
 //! Seeded violations for the instrumented/message-plane passes: a
 //! two-lock ordering cycle (lock-order), a Clock-bypassing time read
-//! (obs), and payload clones in a delivery loop (msg-clone).
+//! (obs), payload clones in a delivery loop (msg-clone), and round-span
+//! guards stored across rounds / dropped without close (span-guard).
 
 use std::sync::Mutex;
 use std::time::Instant;
@@ -32,5 +33,16 @@ impl<M: Clone> Pool<M> {
         }
         let copied = messages[0].clone(); // msg-clone: emission-table clone
         let _ = copied;
+    }
+}
+
+struct Stopwatch {
+    open: RoundSpan, // span-guard: a guard held across round boundaries
+}
+
+impl Stopwatch {
+    fn leak(&mut self, obs: &Obs) {
+        // span-guard: round_enter with no round_exit/close_span in this fn.
+        self.open = obs.round_enter(Labels::round(1));
     }
 }

@@ -1,7 +1,7 @@
 //! End-to-end tests for the syntax-aware static-analysis framework:
 //!
 //! * the seeded fixture tree under `tests/fixtures/static_analysis/`
-//!   fires all seven passes (and the unfenced fixture crate fires none
+//!   fires all eight passes (and the unfenced fixture crate fires none
 //!   of the fence-gated ones);
 //! * the five lexer-ported lints reproduce the frozen line-oriented
 //!   scanner (`rrfd_analyze::legacy`) finding-for-finding on that tree;
@@ -37,6 +37,7 @@ const ALL_PASSES: &[&str] = &[
     "direct-index",
     "msg-clone",
     "round-closure",
+    "span-guard",
     "lock-order",
 ];
 
